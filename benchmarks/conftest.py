@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every ``test_*`` here both *times* its harness (pytest-benchmark) and
+*prints* the regenerated paper artifact, then asserts the qualitative
+shape the paper reports. Set ``RPTCN_BENCH_PROFILE=default`` (or
+``paper``) for higher-fidelity, slower runs; the default ``quick``
+profile keeps the whole suite in single-digit minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile(os.environ.get("RPTCN_BENCH_PROFILE", "quick"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a harness exactly once (they are seconds-long, not microseconds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

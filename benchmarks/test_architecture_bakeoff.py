@@ -1,0 +1,82 @@
+"""Architecture bake-off: every forecaster family on identical windows.
+
+Beyond the paper's four baselines, the library implements the wider model
+zoo of its related-work section (GRU, BiLSTM, MLP, Holt, seq2seq) and the
+post-paper question (a causal Transformer). This bench runs all of them
+once on the same Mul-Exp container pipeline — a regression canary for the
+whole model registry, and a data point on inductive-bias-vs-scale.
+"""
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.data.pipeline import PipelineConfig, PredictionPipeline
+from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+
+from .conftest import run_once
+
+MODELS = {
+    "persistence": {},
+    "holt": {},
+    "arima": {"order": (2, 1, 1)},
+    "xgboost": {"n_estimators": 80},
+    "mlp": {"epochs": 20, "seed": 0},
+    "lstm": {"epochs": 20, "seed": 0},
+    "gru": {"epochs": 20, "seed": 0},
+    "bilstm": {"epochs": 20, "seed": 0},
+    "cnn_lstm": {"epochs": 20, "seed": 0},
+    "seq2seq": {"epochs": 20, "seed": 0},
+    "tcn": {"epochs": 20, "seed": 0},
+    "rptcn": {"epochs": 20, "seed": 0},
+    "transformer": {"epochs": 20, "seed": 0, "dim": 16, "n_heads": 2, "n_blocks": 1},
+    # the related-work composite classes (§VI-C and ref [37])
+    "ensemble": {
+        "members": [("xgboost", {"n_estimators": 40}), ("lstm", {"epochs": 15, "seed": 0})],
+        "weighting": "inverse_mse",
+    },
+    "hybrid_arima_nn": {
+        "order": (2, 1, 1),
+        "nn_name": "mlp",
+        "nn_kwargs": {"hidden": (32,), "epochs": 15, "seed": 0},
+    },
+    "clustered": {"k": 3, "member": "xgboost", "member_kwargs": {"n_estimators": 40}},
+}
+
+
+def _run(profile):
+    entity = ClusterTraceGenerator(
+        TraceConfig(n_machines=1, containers_per_machine=1,
+                    n_steps=profile.n_steps, seed=profile.seed)
+    ).generate().containers[0]
+    pipe = PredictionPipeline(PipelineConfig(scenario="mul_exp", window=profile.window))
+    prepared = pipe.prepare(entity)
+
+    out = {}
+    for name, kwargs in MODELS.items():
+        t0 = time.perf_counter()
+        run = pipe.run(entity, name, dict(kwargs), prepared=prepared)
+        out[name] = {**run.metrics, "seconds": time.perf_counter() - t0}
+    return out
+
+
+def test_architecture_bakeoff(benchmark, profile):
+    results = run_once(benchmark, _run, profile)
+
+    rows = sorted(
+        ([m, v["mse"] * 100, v["mae"] * 100, f"{v['seconds']:.1f}s"]
+         for m, v in results.items()),
+        key=lambda r: r[1],
+    )
+    print("\n" + format_table(
+        ["model", "MSE(e-2)", "MAE(e-2)", "fit+eval"], rows,
+        title=f"All {len(MODELS)} forecaster families, identical Mul-Exp windows",
+    ))
+
+    # every registered family must train and stay on the normalized scale
+    for name, vals in results.items():
+        assert 0.0 < vals["mse"] < 0.2, f"{name} diverged: {vals}"
+
+    # the naive floor is not embarrassingly far below the learned models:
+    # at least one learned model lands within 2x of persistence
+    learned = {m: v["mse"] for m, v in results.items() if m != "persistence"}
+    assert min(learned.values()) < 2.0 * results["persistence"]["mse"]

@@ -1,0 +1,39 @@
+"""FIG10 bench — validation-loss convergence on machines (paper Fig. 10).
+
+Paper claims: on machines the validation curves are noisier (CNN-LSTM
+jitters), and "RPTCN keeps a very small loss value as that on containers".
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table, render_ascii_series
+from repro.experiments.convergence import run_fig10
+
+from .conftest import run_once
+
+
+def test_fig10_validation_convergence(benchmark, profile):
+    res = run_once(benchmark, run_fig10, profile)
+
+    print("\nFig. 10 — validation loss on machines")
+    for model, curve in res.curves.items():
+        print(render_ascii_series(np.asarray(curve), label=model))
+    rows = [
+        [r.model, r.initial_loss, r.final_loss, r.best_loss, r.epochs_to_90pct]
+        for r in res.records
+    ]
+    print(format_table(["model", "initial", "final", "best", "ep@90%"], rows))
+
+    assert res.monitor == "val_loss"
+    rptcn = res.model_record("rptcn")
+
+    # RPTCN's best validation loss is within 3x of the overall best —
+    # generalization holds at the machine level too
+    best = min(r.best_loss for r in res.records)
+    assert rptcn.best_loss <= 3.0 * best
+
+    # every curve is finite and positive
+    for curve in res.curves.values():
+        arr = np.asarray(curve)
+        assert np.isfinite(arr).all()
+        assert (arr > 0).all()

@@ -1,0 +1,35 @@
+"""FIG1 bench — container resource-utilization series (paper Fig. 1).
+
+Regenerates the per-container CPU / memory / disk series and checks the
+paper's qualitative claim: container resource usage "fluctuates
+significantly and represents no regularity for a long time period".
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_ascii_series
+from repro.experiments.characterization import run_fig1
+
+from .conftest import run_once
+
+
+def test_fig1_container_series(benchmark, profile):
+    res = run_once(benchmark, run_fig1, profile)
+
+    print(f"\nFig. 1 — container {res.entity_id} resource utilization")
+    for name, series in res.series.items():
+        print(render_ascii_series(series, label=name[:12]))
+
+    cpu = res.series["cpu_util_percent"]
+    # high-dynamic: significant step-to-step movement...
+    assert res.dynamism() > 0.5, "container CPU should fluctuate significantly"
+    # ...and wide overall range
+    assert cpu.max() - cpu.min() > 20.0
+
+    # "no regularity": the strongest autocorrelation beyond a short horizon
+    # stays well below a periodic signal's
+    centered = cpu - cpu.mean()
+    ac = np.correlate(centered, centered, mode="full")[len(cpu) - 1 :]
+    ac /= ac[0]
+    long_lag = np.abs(ac[len(cpu) // 4 : len(cpu) // 2])
+    assert long_lag.max() < 0.9, "container series should not be strongly periodic"

@@ -1,0 +1,38 @@
+"""FIG2 bench — cluster CPU boxplots per window (paper Fig. 2).
+
+Checks the paper's claims: the cluster-average CPU has mild periodicity,
+the upper quartile is mostly below 0.6 (60 %), and low usage persists.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.characterization import run_fig2
+
+from .conftest import run_once
+
+
+def test_fig2_cpu_boxplot(benchmark, profile):
+    res = run_once(benchmark, run_fig2, profile)
+
+    rows = [
+        [i, s.minimum, s.q1, s.median, s.q3, s.maximum, s.mean]
+        for i, s in enumerate(res.stats)
+    ]
+    print("\n" + format_table(
+        ["win", "min", "q1", "median", "q3", "max", "mean"],
+        rows,
+        title=f"Fig. 2 — cluster-average CPU per window of {res.window} samples (%)",
+    ))
+    print("cluster summary:", {k: round(v, 3) for k, v in res.summary.items()})
+
+    # the paper: "the upper quartile of the boxplot at each sampling point
+    # is mostly less than 0.6" (60 %)
+    q3_below_60 = sum(s.q3 < 60.0 for s in res.stats) / len(res.stats)
+    assert q3_below_60 >= 0.7
+
+    # "75% of the time the average CPU usage of the cluster is less than 0.6"
+    assert res.summary["cluster_avg_below_60_frac"] >= 0.7
+
+    # low usage is the *persistent* state: windowed means stay in a band
+    means = res.mean_line
+    assert means.max() < 70.0
+    assert means.min() > 10.0

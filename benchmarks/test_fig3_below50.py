@@ -1,0 +1,25 @@
+"""FIG3 bench — % of machines under 50 % CPU (paper Fig. 3).
+
+Paper claim: "the majority of machines in the cluster are less than 50%
+CPU usage in most time periods. In addition, more than 80% of the
+machines maintain CPU usage below 50%."
+"""
+
+from repro.analysis.reporting import render_ascii_series
+from repro.experiments.characterization import run_fig3
+
+from .conftest import run_once
+
+
+def test_fig3_machines_below_50(benchmark, profile):
+    res = run_once(benchmark, run_fig3, profile)
+
+    print("\nFig. 3 — fraction of machines below 50% CPU per window")
+    print(render_ascii_series(res.fractions, label="frac<50%"))
+    print(f"overall fraction of (machine, time) samples below 50%: "
+          f"{res.overall_fraction:.3f}")
+
+    # majority of machines under the threshold in most windows
+    assert (res.fractions > 0.5).mean() >= 0.6
+    # and the pooled fraction matches the paper's "majority" claim
+    assert res.overall_fraction > 0.5

@@ -1,0 +1,32 @@
+"""FIG7 bench — indicator correlation heatmap (paper Fig. 7).
+
+Paper finding on container c_18104: "the top four indicators which have a
+stronger correlation with CPU utilization are cpu, mpki, cpi, mem_gps."
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.characterization import run_fig7
+
+from .conftest import run_once
+
+
+def test_fig7_correlation_heatmap(benchmark, profile):
+    res = run_once(benchmark, run_fig7, profile)
+
+    short = [n[:8] for n in res.names]
+    rows = [[short[i], *[f"{v:+.2f}" for v in res.matrix[i]]] for i in range(len(short))]
+    print("\n" + format_table(
+        ["", *short], rows, title=f"Fig. 7 — correlation matrix of {res.entity_id}"
+    ))
+    print("ranking:", [(n, round(r, 3)) for n, r in res.ranking])
+
+    # symmetric with unit diagonal
+    assert abs(res.matrix - res.matrix.T).max() < 1e-12
+    assert all(abs(res.matrix[i, i] - 1.0) < 1e-12 for i in range(8))
+
+    # the paper's top-4 set
+    assert set(res.top_correlated(4)) == {"cpu_util_percent", "mpki", "cpi", "mem_gps"}
+
+    # and the bottom half contains the weak indicators
+    bottom = {name for name, _ in res.ranking[4:]}
+    assert "disk_io_percent" in bottom

@@ -1,0 +1,52 @@
+"""FIG8 bench — predicted vs. true around a mutation point (paper Fig. 8).
+
+Paper claims: the CPU utilization "increases abruptly after the 350th
+sampling point, and then maintains a high CPU resource utilization";
+baselines predict the rise but with large error, while "RPTCN can
+accurately predict the range of sudden increase".
+"""
+
+from repro.analysis.dynamics import time_to_track
+from repro.analysis.reporting import format_table, render_ascii_series
+from repro.experiments.curves import run_fig8
+
+from .conftest import run_once
+
+
+def test_fig8_mutation_tracking(benchmark, profile):
+    res = run_once(benchmark, run_fig8, profile)
+
+    print(f"\nFig. 8 — mutation at test index {res.jump_index}")
+    print(render_ascii_series(res.truth, label="truth"))
+    for model, pred in res.predictions.items():
+        print(render_ascii_series(pred, label=model))
+    ttt = {
+        m: time_to_track(res.truth, pred, res.jump_index, tolerance=0.15)
+        for m, pred in res.predictions.items()
+    }
+    rows = [
+        [m, res.pre_jump_mae[m], res.post_jump_mae[m], res.tracking_error(m),
+         "never" if ttt[m] is None else ttt[m]]
+        for m in res.predictions
+    ]
+    print(format_table(
+        ["model", "pre-jump MAE", "post-jump MAE", "overall MAE", "steps to track"],
+        rows,
+    ))
+    print("best post-jump tracker:", res.best_post_jump())
+
+    truth = res.truth
+    k = res.jump_index
+    # the jump is inside the test segment and sustained
+    assert 0 < k < len(truth) - 2
+    assert truth[k + 1 :].mean() > truth[:k].mean() + 0.2
+
+    # every model at least predicts the rise (mean after > mean before)
+    for model, pred in res.predictions.items():
+        assert pred[k + 1 :].mean() > pred[:k].mean(), f"{model} missed the rise"
+
+    # paper shape: RPTCN tracks the post-jump level at least as well as
+    # the median baseline
+    post = sorted(res.post_jump_mae.values())
+    median_baseline = post[len(post) // 2]
+    assert res.post_jump_mae["rptcn"] <= 1.05 * median_baseline

@@ -1,0 +1,45 @@
+"""FIG9 bench — training-loss convergence on containers (paper Fig. 9).
+
+Paper claims: "the loss value of RPTCN is very small at the beginning,
+while the loss value of other models is relatively large", and RPTCN
+"has always maintained a small loss value".
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table, render_ascii_series
+from repro.experiments.convergence import run_fig9
+
+from .conftest import run_once
+
+
+def test_fig9_training_convergence(benchmark, profile):
+    res = run_once(benchmark, run_fig9, profile)
+
+    print("\nFig. 9 — training loss on containers")
+    for model, curve in res.curves.items():
+        print(render_ascii_series(np.asarray(curve), label=model))
+    rows = [
+        [r.model, r.initial_loss, r.final_loss, r.best_loss, r.epochs_to_90pct]
+        for r in res.records
+    ]
+    print(format_table(["model", "initial", "final", "best", "ep@90%"], rows))
+
+    rptcn = res.model_record("rptcn")
+    lstm = res.model_record("lstm")
+    cnn = res.model_record("cnn_lstm")
+
+    # RPTCN starts small (zero-init head) — below the LSTM-family starts
+    assert rptcn.initial_loss <= max(lstm.initial_loss, cnn.initial_loss)
+
+    # and converges to a competitive final loss (within 2x of the best)
+    best_final = min(r.final_loss for r in res.records)
+    assert rptcn.final_loss <= 2.0 * best_final
+
+    # fast convergence: 90% of RPTCN's improvement within half the epochs
+    assert rptcn.epochs_to_90pct <= max(2, rptcn.epochs // 2 + 1)
+
+    # all deep models actually learned something
+    for model in ("lstm", "cnn_lstm", "rptcn"):
+        rec = res.model_record(model)
+        assert rec.best_loss < rec.initial_loss or rec.initial_loss < 0.01

@@ -1,0 +1,42 @@
+"""Generalization bench — the paper's §V claim, quantified.
+
+A model trained on one container is applied unchanged to sibling
+containers and to a machine; the transfer/in-domain error ratio measures
+how "widely usable" the fitted model really is. The pipeline's PCC
+screening helps here: all entities share the same screened feature
+space, so the weights transfer structurally.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.generalization import run_generalization
+
+from .conftest import run_once
+
+
+def test_generalization(benchmark, profile):
+    res = run_once(benchmark, run_generalization, profile, model="rptcn")
+
+    rows = []
+    for target, entry in res.targets.items():
+        rows.append(
+            [
+                target,
+                entry["transfer"]["mse"] * 100,
+                entry["in_domain"]["mse"] * 100,
+                f"x{res.gap(target):.2f}",
+            ]
+        )
+    print("\n" + format_table(
+        ["target", "transfer MSE(e-2)", "in-domain MSE(e-2)", "gap"],
+        rows,
+        title=f"RPTCN trained on {res.source_id}, transferred without refit",
+    ))
+    print(f"mean generalization gap: x{res.mean_gap():.2f}")
+
+    # transfer must work at all (no divergence on any target)...
+    for target, entry in res.targets.items():
+        assert entry["transfer"]["mse"] < 0.25, f"diverged on {target}"
+
+    # ...and stay within an order of magnitude of in-domain training —
+    # the operational meaning of the paper's "good generalization"
+    assert res.mean_gap() < 10.0

@@ -1,0 +1,74 @@
+"""Prediction-aware scheduling bench (the paper's §II motivation).
+
+Packs a batch of jobs under three policies and checks the consolidation
+story the paper tells: request-based reservation leaves the 40-60 %
+utilization gap of Fig. 2; usage-predicted packing reclaims it, at a
+bounded overload risk; the oracle bounds what any predictor can achieve.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.scheduling import (
+    JobGenerator,
+    OraclePackingScheduler,
+    PredictivePackingScheduler,
+    RequestPackingScheduler,
+    simulate_schedule,
+)
+
+from .conftest import run_once
+
+
+def _run(profile):
+    jobs = JobGenerator(
+        duration=min(profile.n_steps, 600),
+        seed=profile.seed,
+        usage_scale=(0.1, 0.4),
+    ).generate(60)
+    reports = {}
+    for sched in (
+        RequestPackingScheduler(),
+        PredictivePackingScheduler(probe_len=60, margin=0.08),
+        OraclePackingScheduler(margin=0.08),
+    ):
+        reports[sched.name] = simulate_schedule(sched, jobs)
+    return reports
+
+
+def test_scheduling_consolidation(benchmark, profile):
+    reports = run_once(benchmark, _run, profile)
+
+    rows = [
+        [r.policy, r.n_machines, f"{r.efficiency():.2f}",
+         f"{r.mean_utilization * 100:.1f}%", f"{r.overload_rate * 100:.2f}%",
+         f"{r.peak_load:.2f}"]
+        for r in reports.values()
+    ]
+    print("\n" + format_table(
+        ["policy", "machines", "jobs/machine", "mean util", "overload", "peak load"],
+        rows,
+        title="Packing 60 jobs under three footprint policies",
+    ))
+
+    request = reports["request"]
+    predictive = reports["predictive"]
+    oracle = reports["oracle"]
+
+    # reservation never overloads but strands capacity
+    assert request.overload_rate == 0.0
+
+    # prediction consolidates: fewer machines, higher utilization
+    assert predictive.n_machines < request.n_machines
+    assert predictive.mean_utilization > request.mean_utilization
+
+    # at a bounded risk
+    assert predictive.overload_rate < 0.15
+
+    # the oracle packs by true lifetime peaks: it consolidates relative to
+    # requests while provably never overloading (sum of peaks bounds the
+    # peak of sums). The probe-based predictor may pack even tighter — it
+    # under-sees future peaks — which is exactly where its risk comes from.
+    assert oracle.n_machines <= request.n_machines
+    assert oracle.overload_rate == 0.0
+
+    # the paper's Fig. 2 gap: request-based utilization sits low
+    assert request.mean_utilization < 0.6

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the substrate kernels.
+
+Not a paper artifact — these time the hot paths (dilated conv forward +
+backward, LSTM step, GBT tree growth, ARIMA fit) so performance
+regressions in the from-scratch framework are caught by CI history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.arima import ARIMA
+from repro.models.gbt import GradientBoostedTrees
+from repro.nn import functional as F
+from repro.nn.layers import LSTM
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_bench_conv1d_forward(benchmark, rng):
+    x = Tensor(rng.random((32, 16, 64)))
+    w = Tensor(rng.random((16, 16, 3)))
+
+    out = benchmark(lambda: F.conv1d(x, w, padding=(4, 0), dilation=2))
+    assert out.shape == (32, 16, 64)
+
+
+def test_bench_conv1d_backward(benchmark, rng):
+    def step():
+        x = Tensor(rng.random((16, 8, 64)), requires_grad=True)
+        w = Tensor(rng.random((8, 8, 3)), requires_grad=True)
+        out = F.conv1d(x, w, padding=(4, 0), dilation=2)
+        (out * out).sum().backward()
+        return x.grad
+
+    grad = benchmark(step)
+    assert grad is not None
+
+
+def test_bench_lstm_forward(benchmark, rng):
+    layer = LSTM(8, 32, rng=rng)
+    layer.eval()
+    x = Tensor(rng.random((32, 12, 8)))
+
+    from repro.nn.tensor import no_grad
+
+    def fwd():
+        with no_grad():
+            return layer(x)
+
+    out = benchmark(fwd)
+    assert out.shape == (32, 12, 32)
+
+
+def test_bench_gbt_fit(benchmark, rng):
+    x = rng.random((500, 24))
+    y = x[:, 0] * 2 + np.sin(x[:, 1] * 6)
+
+    def fit():
+        return GradientBoostedTrees(n_estimators=20, max_depth=4).fit(x, y)
+
+    model = benchmark(fit)
+    assert len(model.trees) == 20
+
+
+def test_bench_arima_fit(benchmark, rng):
+    from scipy.signal import lfilter
+
+    e = rng.normal(0, 0.1, 1500)
+    series = lfilter([1.0], [1.0, -0.7], e)
+
+    model = benchmark(lambda: ARIMA(2, 0, 1).fit(series))
+    assert model.fitted
+
+
+def test_bench_trace_generation(benchmark):
+    from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+
+    cfg = TraceConfig(n_machines=8, containers_per_machine=3, n_steps=2000, seed=1)
+
+    trace = benchmark(lambda: ClusterTraceGenerator(cfg).generate())
+    assert trace.n_containers == 24
+
+
+def test_bench_pipeline_prepare(benchmark):
+    from repro.data.pipeline import PipelineConfig, PredictionPipeline
+    from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+
+    entity = ClusterTraceGenerator(
+        TraceConfig(n_machines=1, containers_per_machine=1, n_steps=3000, seed=2)
+    ).generate().containers[0]
+    pipe = PredictionPipeline(PipelineConfig(scenario="mul_exp"))
+
+    res = benchmark(lambda: pipe.prepare(entity))
+    assert len(res.feature_names) == 12

@@ -1,0 +1,91 @@
+"""Model selection done right for time series: grid search + rolling CV.
+
+The paper fixes its hyper-parameters; a downstream user has to pick them.
+This example shows the library's selection tooling on a real pipeline:
+(1) grid-search RPTCN's architecture knobs on the validation split,
+(2) confirm the winner with rolling-origin cross-validation (the only
+sound CV for time series — no fold ever trains on the future),
+(3) compare against a tuned XGBoost under the same protocol.
+
+Run:  python examples/model_selection.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.data import PipelineConfig, PredictionPipeline
+from repro.data.crossval import cross_validate
+from repro.models import grid_search
+from repro.traces import ClusterTraceGenerator, TraceConfig
+
+
+def main() -> None:
+    container = ClusterTraceGenerator(
+        TraceConfig(n_machines=1, containers_per_machine=1, n_steps=1200, seed=23)
+    ).generate().containers[0]
+
+    pipeline = PredictionPipeline(PipelineConfig(scenario="mul_exp", window=12))
+    prepared = pipeline.prepare(container)
+    xt, yt = prepared.dataset.train
+    xv, yv = prepared.dataset.val
+
+    # 1. grid-search RPTCN's architecture on the validation split
+    result = grid_search(
+        "rptcn",
+        {
+            "channels": [(8, 8), (16, 16, 16)],
+            "fc_units": [16, 32],
+        },
+        xt, yt, xv, yv,
+        fixed_kwargs={"epochs": 20, "seed": 0, "target_col": prepared.target_col},
+    )
+    rows = [
+        [str(t.params), t.val_mse * 100, t.val_mae * 100, f"{t.fit_seconds:.1f}s"]
+        for t in result.ranked()
+    ]
+    print(format_table(
+        ["params", "val MSE(e-2)", "val MAE(e-2)", "fit time"], rows,
+        title="RPTCN grid search (validation split)",
+    ))
+    best = result.best
+    print(f"\nselected: {best.params}")
+
+    # 2. confirm with rolling-origin cross-validation on the full window set
+    import numpy as np
+
+    x_all = np.concatenate([xt, xv])
+    y_all = np.concatenate([yt, yv])
+    cv_rptcn = cross_validate(
+        "rptcn",
+        x_all,
+        y_all,
+        n_folds=3,
+        forecaster_kwargs={
+            "epochs": 15, "seed": 0, "target_col": prepared.target_col, **best.params,
+        },
+    )
+    cv_gbt = cross_validate(
+        "xgboost",
+        x_all,
+        y_all,
+        n_folds=3,
+        forecaster_kwargs={"n_estimators": 100, "target_col": prepared.target_col},
+    )
+    rows = [
+        ["rptcn (tuned)",
+         f"{cv_rptcn['mean_mse'] * 100:.4f} ± {cv_rptcn['std_mse'] * 100:.4f}",
+         f"{cv_rptcn['mean_mae'] * 100:.4f} ± {cv_rptcn['std_mae'] * 100:.4f}"],
+        ["xgboost",
+         f"{cv_gbt['mean_mse'] * 100:.4f} ± {cv_gbt['std_mse'] * 100:.4f}",
+         f"{cv_gbt['mean_mae'] * 100:.4f} ± {cv_gbt['std_mae'] * 100:.4f}"],
+    ]
+    print("\n" + format_table(
+        ["model", "CV MSE(e-2)", "CV MAE(e-2)"], rows,
+        title="Rolling-origin cross-validation (3 forward-chaining folds)",
+    ))
+    print("\nRolling CV gives a variance estimate a single 6:2:2 split cannot — "
+          "the honest way to claim one forecaster beats another.")
+
+
+if __name__ == "__main__":
+    main()

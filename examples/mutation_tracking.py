@@ -1,0 +1,68 @@
+"""Mutation-point tracking: the paper's Fig. 8 scenario as an application.
+
+A machine's CPU utilization jumps abruptly and stays high (a tenant
+migration, a flash crowd). Reactive allocators thrash; a good predictor
+sees the new level within a step or two. This example races RPTCN
+against the baselines across the jump and reports pre/post-jump error.
+
+Run:  python examples/mutation_tracking.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table, render_ascii_series
+from repro.data import PipelineConfig, PredictionPipeline
+from repro.traces import ClusterTraceGenerator, TraceConfig
+
+
+def main() -> None:
+    generator = ClusterTraceGenerator(TraceConfig(n_steps=1200, seed=7))
+    machine = generator.generate_entity(
+        "mutation", entity_id="m_demo", kind="machine",
+        low=0.25, high=0.75, jump_at=0.85,  # jump lands inside the test split
+    )
+    print(f"machine {machine.entity_id}: sustained CPU jump at 85% of the trace")
+    print(render_ascii_series(machine.cpu, label="cpu %"))
+
+    pipeline = PredictionPipeline(PipelineConfig(scenario="mul_exp", window=12))
+    prepared = pipeline.prepare(machine)
+    _, truth = prepared.dataset.test
+    truth = truth[:, 0]
+
+    import numpy as np
+
+    jump = int(np.argmax(np.abs(np.diff(truth))))
+    print(f"\njump at test index {jump} of {len(truth)}")
+    print(render_ascii_series(truth, label="truth"))
+
+    rows = []
+    for model, kwargs in [
+        ("rptcn", {"epochs": 30, "seed": 1}),
+        ("lstm", {"epochs": 30, "seed": 1}),
+        ("cnn_lstm", {"epochs": 30, "seed": 1}),
+        ("xgboost", {"n_estimators": 120}),
+        ("persistence", {}),
+    ]:
+        result = pipeline.run(machine, model, kwargs, prepared=prepared)
+        pred = result.predictions[:, 0]
+        print(render_ascii_series(pred, label=model))
+        pre = float(np.mean(np.abs(pred[:jump] - truth[:jump])))
+        post = float(np.mean(np.abs(pred[jump + 1 :] - truth[jump + 1 :])))
+        rows.append([model, pre, post, result.metrics["mae"]])
+
+    print("\n" + format_table(
+        ["model", "pre-jump MAE", "post-jump MAE", "overall MAE"], rows,
+        title="Tracking a sustained mutation (normalized units)",
+    ))
+    print(
+        "\nWhat to look for (paper Fig. 8): the deep models predict the rise "
+        "and settle near the new level; the tree ensemble, which cannot "
+        "extrapolate beyond its training range, saturates well below it. "
+        "One-step persistence is trivially strong after a *sustained* jump — "
+        "the reason the paper evaluates dynamics with learned models and "
+        "multi-step behaviour rather than pure one-step error."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Real-time prediction serving with drift-triggered refits.
+
+The paper's §V-C: "further apply the model to the real-time resource
+usage prediction". This example replays a container stream that mutates
+mid-way through an OnlinePredictor: predictions are served one step
+ahead (prequential), the Page-Hinkley detector catches the regime change,
+and the model refits on the spot.
+
+Run:  python examples/online_serving.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table, render_ascii_series
+from repro.streaming import OnlinePredictor, PageHinkley
+from repro.traces import ClusterTraceGenerator, TraceConfig
+
+
+def main() -> None:
+    gen = ClusterTraceGenerator(TraceConfig(n_steps=900, seed=31))
+    entity = gen.generate_entity(
+        "mutation", entity_id="c_live", low=0.3, high=0.7, jump_at=0.55, noise=0.03,
+        preview_rate=0.0,  # the high regime is genuinely unseen until the jump
+    )
+    stream = entity.cpu / 100.0
+    print("incoming stream (CPU fraction), mutation near sample 495:")
+    print(render_ascii_series(stream, label="demand"))
+
+    predictor = OnlinePredictor(
+        "holt",
+        window=12,
+        buffer_capacity=400,
+        refit_interval=120,
+        min_fit_size=60,
+        detector=PageHinkley(threshold=0.25, min_instances=30),
+    )
+
+    t0 = time.perf_counter()
+    results = predictor.run(stream)
+    elapsed = time.perf_counter() - t0
+
+    drifts = [r.step for r in results if r.drift]
+    refits = [r.step for r in results if r.refit]
+    preds = np.array([r.prediction if r.prediction is not None else np.nan
+                      for r in results])
+    print("\nserved predictions:")
+    print(render_ascii_series(preds[~np.isnan(preds)], label="predicted"))
+
+    rows = [
+        ["records processed", len(results)],
+        ["predictions served", predictor.stats.n_predictions],
+        ["online (prequential) MAE", f"{predictor.stats.mae:.4f}"],
+        ["refits", predictor.stats.n_refits],
+        ["refit steps", str(refits[:8])],
+        ["drift events", str(drifts)],
+        ["throughput", f"{len(stream) / elapsed:,.0f} records/s"],
+    ]
+    print("\n" + format_table(["metric", "value"], rows, title="Online serving summary"))
+    print("\nNote the drift event right after the mutation: the detector saw "
+          "the error stream shift and forced a refit instead of waiting for "
+          "the schedule.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Predictive autoscaling: turning Table II accuracy into cluster savings.
+
+The paper's motivation (§I-II): accurate prediction lets the resource
+manager reserve just enough CPU — less waste than static peak
+provisioning, fewer QoS violations than reactive scaling. This example
+trains RPTCN on a high-dynamic container, plugs it into a
+PredictiveAllocator, and compares four policies on waste vs violations.
+
+Run:  python examples/predictive_autoscaling.py
+"""
+
+from __future__ import annotations
+
+from repro.allocation import (
+    OracleAllocator,
+    PredictiveAllocator,
+    QuantileAllocator,
+    ReactiveAllocator,
+    StaticAllocator,
+    simulate_allocation,
+)
+from repro.models import QuantileGBTForecaster
+from repro.analysis.reporting import format_table
+from repro.data import PipelineConfig, PredictionPipeline
+from repro.models import create_forecaster
+from repro.traces import ClusterTraceGenerator, TraceConfig
+
+
+def main() -> None:
+    container = ClusterTraceGenerator(
+        TraceConfig(n_machines=1, containers_per_machine=1, n_steps=1500, seed=19,
+                    container_mix={"regime_switching": 1.0})
+    ).generate().containers[0]
+    print(f"container {container.entity_id}: regime-switching CPU demand")
+
+    # the paper's pipeline feeds the forecaster
+    pipeline = PredictionPipeline(PipelineConfig(scenario="mul_exp", window=12))
+    prepared = pipeline.prepare(container)
+    xt, yt = prepared.dataset.train
+    xv, yv = prepared.dataset.val
+    xe, ye = prepared.dataset.test
+
+    forecaster = create_forecaster(
+        "rptcn", target_col=prepared.target_col, epochs=30, seed=4
+    )
+    forecaster.fit(xt, yt, xv, yv)
+
+    # a risk-calibrated alternative: reserve the predicted 95th percentile
+    quantile_forecaster = QuantileGBTForecaster(
+        taus=(0.5, 0.95),
+        target_col=prepared.target_col,
+        n_estimators=100,
+        max_depth=2,
+        min_child_weight=30,
+    )
+    quantile_forecaster.fit(xt, yt)
+
+    headroom = 0.08
+    policies = [
+        StaticAllocator(level=0.95),
+        ReactiveAllocator(headroom=headroom, target_col=prepared.target_col),
+        PredictiveAllocator(forecaster, headroom=headroom),
+        QuantileAllocator(quantile_forecaster, tau=0.95),
+        OracleAllocator(headroom=headroom),
+    ]
+
+    rows = []
+    for policy in policies:
+        report = simulate_allocation(policy, xe, ye[:, 0])
+        rows.append(
+            [
+                report.policy,
+                f"{report.mean_reservation:.3f}",
+                f"{report.mean_overprovision:.3f}",
+                f"{report.violation_rate * 100:.1f}%",
+                f"{report.mean_violation_depth:.3f}",
+                f"{report.cost():.3f}",
+            ]
+        )
+    print("\n" + format_table(
+        ["policy", "avg reserved", "waste", "violations", "depth", "cost(10x)"],
+        rows,
+        title=f"Allocation replay over {len(ye)} test intervals "
+              f"(headroom {headroom:.0%})",
+    ))
+
+    print("\nReading: static provisioning wastes the most; reactive lags every "
+          "regime switch (violations); the RPTCN-driven policy approaches the "
+          "oracle — that gap is exactly the value of prediction accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Predictive resource allocation — the application the paper motivates.
+
+§I-II of the paper: "Dynamic resource allocation relies on accurate
+prediction of future resource usage ... The predictive result can provide
+support for job scheduling and an effective reference for resource
+allocation." This subpackage closes that loop: an allocator that sets
+per-entity CPU reservations from a forecaster's output, a simulator that
+replays a trace against the allocation decisions, and cost metrics
+(waste from over-provisioning, QoS violations from under-provisioning)
+that turn Table II's MSE differences into operational consequences.
+"""
+
+from .allocator import (
+    Allocator,
+    OracleAllocator,
+    PredictiveAllocator,
+    QuantileAllocator,
+    ReactiveAllocator,
+    StaticAllocator,
+)
+from .simulator import AllocationReport, simulate_allocation
+
+__all__ = [
+    "Allocator",
+    "StaticAllocator",
+    "ReactiveAllocator",
+    "PredictiveAllocator",
+    "QuantileAllocator",
+    "OracleAllocator",
+    "simulate_allocation",
+    "AllocationReport",
+]

@@ -1,0 +1,138 @@
+"""Allocation policies: how much CPU to reserve for the next interval.
+
+All policies see the same normalized utilization history and emit a
+reservation in [0, 1] per step. ``PredictiveAllocator`` wraps any
+:class:`repro.models.base.Forecaster`; the others are the standard
+operating points it is judged against:
+
+* ``StaticAllocator`` — fixed reservation (peak provisioning);
+* ``ReactiveAllocator`` — last observation plus headroom (what autoscalers
+  do without a model);
+* ``OracleAllocator`` — perfect next-step knowledge plus headroom (the
+  lower bound on achievable cost).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..models.base import Forecaster
+
+__all__ = [
+    "Allocator",
+    "StaticAllocator",
+    "ReactiveAllocator",
+    "PredictiveAllocator",
+    "OracleAllocator",
+]
+
+
+class Allocator(abc.ABC):
+    """Maps utilization windows to next-interval reservations."""
+
+    name: str = ""
+
+    def __init__(self, headroom: float = 0.1) -> None:
+        if headroom < 0:
+            raise ValueError(f"headroom must be non-negative, got {headroom}")
+        self.headroom = headroom
+
+    @abc.abstractmethod
+    def reserve(self, windows: np.ndarray, future: np.ndarray) -> np.ndarray:
+        """Reservations for each window's next step.
+
+        Parameters
+        ----------
+        windows:
+            ``(N, window, features)`` normalized history windows.
+        future:
+            ``(N,)`` true next-step utilization — only the oracle may read
+            it; it is passed to every policy so the simulator's call site
+            stays uniform.
+        """
+
+    @staticmethod
+    def _clip(reservations: np.ndarray) -> np.ndarray:
+        return np.clip(reservations, 0.0, 1.0)
+
+
+class StaticAllocator(Allocator):
+    """Reserve a fixed fraction, sized to the training peak."""
+
+    name = "static"
+
+    def __init__(self, level: float = 0.9) -> None:
+        super().__init__(headroom=0.0)
+        if not 0.0 < level <= 1.0:
+            raise ValueError(f"level must be in (0, 1], got {level}")
+        self.level = level
+
+    def reserve(self, windows: np.ndarray, future: np.ndarray) -> np.ndarray:
+        return np.full(len(windows), self.level)
+
+
+class ReactiveAllocator(Allocator):
+    """Last observed utilization plus headroom (model-free autoscaling)."""
+
+    name = "reactive"
+
+    def __init__(self, headroom: float = 0.1, target_col: int = 0) -> None:
+        super().__init__(headroom=headroom)
+        self.target_col = target_col
+
+    def reserve(self, windows: np.ndarray, future: np.ndarray) -> np.ndarray:
+        last = windows[:, -1, self.target_col]
+        return self._clip(last + self.headroom)
+
+
+class PredictiveAllocator(Allocator):
+    """Forecaster prediction plus headroom — the paper's proposed loop."""
+
+    name = "predictive"
+
+    def __init__(self, forecaster: Forecaster, headroom: float = 0.1) -> None:
+        super().__init__(headroom=headroom)
+        if not forecaster.fitted:
+            raise ValueError("forecaster must be fitted before allocation")
+        self.forecaster = forecaster
+        self.name = f"predictive[{forecaster.name or type(forecaster).__name__}]"
+
+    def reserve(self, windows: np.ndarray, future: np.ndarray) -> np.ndarray:
+        pred = self.forecaster.predict(windows)[:, 0]
+        return self._clip(pred + self.headroom)
+
+
+class QuantileAllocator(Allocator):
+    """Reserve a predicted upper quantile of demand — risk-calibrated.
+
+    Instead of mean-forecast + ad-hoc headroom, reserve the ``tau``
+    quantile of the demand distribution: the violation probability is
+    then ``1 - tau`` by construction (to the extent the quantile model is
+    calibrated). Works with any forecaster exposing ``predict_quantile``.
+    """
+
+    name = "quantile"
+
+    def __init__(self, forecaster, tau: float = 0.95) -> None:
+        super().__init__(headroom=0.0)
+        if not hasattr(forecaster, "predict_quantile"):
+            raise TypeError("forecaster must expose predict_quantile(x, tau)")
+        if not getattr(forecaster, "fitted", False):
+            raise ValueError("forecaster must be fitted before allocation")
+        self.forecaster = forecaster
+        self.tau = tau
+        self.name = f"quantile[q{int(tau * 100)}]"
+
+    def reserve(self, windows: np.ndarray, future: np.ndarray) -> np.ndarray:
+        return self._clip(self.forecaster.predict_quantile(windows, self.tau))
+
+
+class OracleAllocator(Allocator):
+    """Perfect foresight plus headroom — the achievable lower bound."""
+
+    name = "oracle"
+
+    def reserve(self, windows: np.ndarray, future: np.ndarray) -> np.ndarray:
+        return self._clip(future + self.headroom)

@@ -1,0 +1,123 @@
+"""Cluster characterization statistics (paper §II, Figs. 1-3).
+
+These functions compute the data behind the paper's motivation figures:
+
+* Fig. 1 — per-container utilization series of several resources;
+* Fig. 2 — boxplot of the cluster-average CPU utilization per 6-hour
+  window, with the windowed mean as the red line;
+* Fig. 3 — fraction of machines whose CPU usage is below 50 % over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.schema import ClusterTrace, EntityTrace
+
+__all__ = [
+    "BoxplotStats",
+    "boxplot_stats_per_window",
+    "fraction_below",
+    "resource_series",
+    "utilization_summary",
+]
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus mean of one boxplot window."""
+
+    start_index: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def resource_series(
+    entity: EntityTrace, indicators: tuple[str, ...] = ("cpu_util_percent", "mem_util_percent", "disk_io_percent")
+) -> dict[str, np.ndarray]:
+    """Fig. 1 data: selected indicator series of one entity."""
+    return {name: entity.indicator(name).copy() for name in indicators}
+
+
+def boxplot_stats_per_window(
+    series: np.ndarray, window: int
+) -> list[BoxplotStats]:
+    """Fig. 2 data: boxplot stats of ``series`` per ``window`` samples.
+
+    The paper samples every 6 hours; with 10 s sampling that's
+    ``window = 2160``. A trailing partial window is included when it holds
+    at least a quarter of a full window (enough samples for quantiles).
+    """
+    series = np.asarray(series, float)
+    if series.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {series.shape}")
+    if window < 4:
+        raise ValueError(f"window must be >= 4, got {window}")
+    out: list[BoxplotStats] = []
+    for start in range(0, len(series), window):
+        chunk = series[start : start + window]
+        if len(chunk) < max(4, window // 4):
+            break
+        q1, med, q3 = np.percentile(chunk, [25, 50, 75])
+        out.append(
+            BoxplotStats(
+                start_index=start,
+                minimum=float(chunk.min()),
+                q1=float(q1),
+                median=float(med),
+                q3=float(q3),
+                maximum=float(chunk.max()),
+                mean=float(chunk.mean()),
+            )
+        )
+    if not out:
+        raise ValueError(f"series of {len(series)} samples too short for window {window}")
+    return out
+
+
+def fraction_below(
+    matrix: np.ndarray, threshold: float = 50.0, window: int = 1
+) -> np.ndarray:
+    """Fig. 3 data: per-time fraction of machines under ``threshold``.
+
+    ``matrix`` is ``(n_machines, T)``; with ``window > 1`` the fractions
+    are averaged in non-overlapping windows (the paper plots per period).
+    """
+    matrix = np.asarray(matrix, float)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be (n_machines, T), got {matrix.shape}")
+    frac = (matrix < threshold).mean(axis=0)
+    if window <= 1:
+        return frac
+    t = (len(frac) // window) * window
+    if t == 0:
+        raise ValueError(f"T={matrix.shape[1]} shorter than window={window}")
+    return frac[:t].reshape(-1, window).mean(axis=1)
+
+
+def utilization_summary(trace: ClusterTrace) -> dict[str, float]:
+    """Headline statistics the paper quotes about the cluster (§II).
+
+    Returns the cluster-mean CPU utilization, the fraction of time the
+    cluster average stays below 60 %, and the fraction of machines that
+    spend most of their time below 50 % CPU.
+    """
+    cpu = trace.machine_cpu_matrix()  # (n_machines, T)
+    cluster_avg = cpu.mean(axis=0)
+    per_machine_below50 = (cpu < 50.0).mean(axis=1)  # fraction of time, per machine
+    return {
+        "mean_cpu": float(cpu.mean()),
+        "cluster_avg_below_60_frac": float((cluster_avg < 60.0).mean()),
+        "machines_mostly_below_50_frac": float((per_machine_below50 > 0.5).mean()),
+        "p75_cluster_avg": float(np.percentile(cluster_avg, 75)),
+    }

@@ -1,0 +1,100 @@
+"""Cluster imbalance metrics (Lu et al. 2017 — the paper's ref [5]).
+
+§II of the paper leans on "Imbalance in the cloud": utilization is uneven
+across machines (spatial), over time (temporal), and across resource
+types on the same machine (cross-resource). These metrics quantify all
+three on a :class:`~repro.traces.schema.ClusterTrace` and back the §II
+claims in the characterization benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.schema import ClusterTrace
+
+__all__ = [
+    "spatial_imbalance",
+    "temporal_imbalance",
+    "cross_resource_imbalance",
+    "ImbalanceSummary",
+    "cluster_imbalance",
+]
+
+
+def _cv(values: np.ndarray, axis: int) -> np.ndarray:
+    """Coefficient of variation along ``axis`` (0 where the mean is 0)."""
+    mean = values.mean(axis=axis)
+    std = values.std(axis=axis)
+    return np.divide(std, mean, out=np.zeros_like(std), where=mean != 0)
+
+
+def spatial_imbalance(matrix: np.ndarray) -> np.ndarray:
+    """Per-time-step CV of utilization across machines.
+
+    ``matrix`` is ``(n_machines, T)``; high values mean some machines are
+    loaded while others idle at the same moment — the scheduling
+    inefficiency the paper's §II-1 describes.
+    """
+    matrix = np.asarray(matrix, float)
+    if matrix.ndim != 2 or matrix.shape[0] < 2:
+        raise ValueError(f"need (n_machines >= 2, T), got {matrix.shape}")
+    return _cv(matrix, axis=0)
+
+
+def temporal_imbalance(matrix: np.ndarray) -> np.ndarray:
+    """Per-machine CV of utilization over time (bursty vs steady hosts)."""
+    matrix = np.asarray(matrix, float)
+    if matrix.ndim != 2 or matrix.shape[1] < 2:
+        raise ValueError(f"need (n_machines, T >= 2), got {matrix.shape}")
+    return _cv(matrix, axis=1)
+
+
+def cross_resource_imbalance(
+    trace: ClusterTrace,
+    resources: tuple[str, str] = ("cpu_util_percent", "mem_util_percent"),
+) -> np.ndarray:
+    """Per-machine mean absolute gap between two resources' utilizations.
+
+    A machine with hot CPU but cold memory strands the cold resource —
+    the "different types of hardware resources are unevenly used" claim.
+    Utilizations are compared on their percent scales.
+    """
+    if not trace.machines:
+        raise ValueError("trace has no machines")
+    a, b = resources
+    gaps = []
+    for m in trace.machines:
+        gaps.append(float(np.abs(m.indicator(a) - m.indicator(b)).mean()))
+    return np.asarray(gaps)
+
+
+@dataclass(frozen=True)
+class ImbalanceSummary:
+    """Cluster-level imbalance headline numbers."""
+
+    mean_spatial_cv: float
+    max_spatial_cv: float
+    mean_temporal_cv: float
+    mean_cpu_mem_gap: float
+
+    @property
+    def is_imbalanced(self) -> bool:
+        """The paper-calibrated threshold: spatial CV above 0.2."""
+        return self.mean_spatial_cv > 0.2
+
+
+def cluster_imbalance(trace: ClusterTrace) -> ImbalanceSummary:
+    """All three imbalance views of one cluster trace."""
+    cpu = trace.machine_cpu_matrix()
+    spatial = spatial_imbalance(cpu)
+    temporal = temporal_imbalance(cpu)
+    gaps = cross_resource_imbalance(trace)
+    return ImbalanceSummary(
+        mean_spatial_cv=float(spatial.mean()),
+        max_spatial_cv=float(spatial.max()),
+        mean_temporal_cv=float(temporal.mean()),
+        mean_cpu_mem_gap=float(gaps.mean()),
+    )

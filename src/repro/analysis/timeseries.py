@@ -1,0 +1,175 @@
+"""Time-series statistics: ACF, PACF, stationarity, decomposition.
+
+Supporting analysis for the trace characterization (§II) and for choosing
+ARIMA orders: autocorrelation, partial autocorrelation (Durbin-Levinson),
+an augmented Dickey-Fuller stationarity test, and classical
+moving-average seasonal decomposition. All implemented here — no
+statsmodels offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "acf",
+    "pacf",
+    "ADFResult",
+    "adf_test",
+    "Decomposition",
+    "seasonal_decompose",
+]
+
+
+def acf(series: np.ndarray, nlags: int) -> np.ndarray:
+    """Sample autocorrelation for lags ``0..nlags`` (biased estimator).
+
+    Computed via FFT convolution — O(n log n) rather than O(n * nlags).
+    """
+    series = np.asarray(series, float)
+    if series.ndim != 1 or len(series) < 2:
+        raise ValueError(f"series must be 1-D with >= 2 points, got shape {series.shape}")
+    if not 0 <= nlags < len(series):
+        raise ValueError(f"nlags must be in [0, {len(series) - 1}], got {nlags}")
+    x = series - series.mean()
+    n = len(x)
+    # full autocovariance via FFT
+    nfft = int(2 ** np.ceil(np.log2(2 * n - 1)))
+    f = np.fft.rfft(x, nfft)
+    autocov = np.fft.irfft(f * np.conj(f), nfft)[: nlags + 1] / n
+    if autocov[0] == 0:
+        out = np.zeros(nlags + 1)
+        out[0] = 1.0
+        return out
+    return autocov / autocov[0]
+
+
+def pacf(series: np.ndarray, nlags: int) -> np.ndarray:
+    """Partial autocorrelation via the Durbin-Levinson recursion.
+
+    ``pacf[0] = 1``; ``pacf[k]`` is the correlation of x_t with x_{t-k}
+    after regressing out lags ``1..k-1`` — the diagnostic that reveals AR
+    order (it cuts off after lag p for an AR(p) process).
+    """
+    rho = acf(series, nlags)
+    out = np.zeros(nlags + 1)
+    out[0] = 1.0
+    if nlags == 0:
+        return out
+    phi = np.zeros((nlags + 1, nlags + 1))
+    phi[1, 1] = rho[1]
+    out[1] = rho[1]
+    for k in range(2, nlags + 1):
+        num = rho[k] - (phi[k - 1, 1:k] * rho[1:k][::-1]).sum()
+        den = 1.0 - (phi[k - 1, 1:k] * rho[1:k]).sum()
+        phi[k, k] = num / den if den != 0 else 0.0
+        phi[k, 1:k] = phi[k - 1, 1:k] - phi[k, k] * phi[k - 1, 1:k][::-1]
+        out[k] = phi[k, k]
+    return out
+
+
+@dataclass(frozen=True)
+class ADFResult:
+    """Augmented Dickey-Fuller outcome."""
+
+    statistic: float
+    nlags: int
+    nobs: int
+    #: MacKinnon critical values for the constant-only regression
+    critical_values: dict[str, float]
+
+    @property
+    def is_stationary(self) -> bool:
+        """Reject the unit-root null at the 5 % level."""
+        return self.statistic < self.critical_values["5%"]
+
+
+def adf_test(series: np.ndarray, nlags: int | None = None) -> ADFResult:
+    """Augmented Dickey-Fuller test (constant, no trend).
+
+    Regresses ``Δx_t`` on ``x_{t-1}``, lagged differences and a constant;
+    the t-statistic of the ``x_{t-1}`` coefficient is compared against
+    MacKinnon (2010) large-sample critical values.
+    """
+    series = np.asarray(series, float)
+    if series.ndim != 1 or len(series) < 12:
+        raise ValueError("need a 1-D series with at least 12 points")
+    n = len(series)
+    if nlags is None:
+        nlags = int(np.floor(12.0 * (n / 100.0) ** 0.25))
+        nlags = min(nlags, n // 2 - 2)
+    dx = np.diff(series)
+    # rows: t = nlags .. len(dx)-1
+    y = dx[nlags:]
+    cols = [series[nlags:-1], np.ones(len(y))]
+    for k in range(1, nlags + 1):
+        cols.append(dx[nlags - k : len(dx) - k])
+    xmat = np.column_stack(cols)
+    beta, _, _, _ = np.linalg.lstsq(xmat, y, rcond=None)
+    resid = y - xmat @ beta
+    dof = len(y) - xmat.shape[1]
+    if dof <= 0:
+        raise ValueError("series too short for the chosen lag order")
+    sigma2 = float(resid @ resid) / dof
+    cov = sigma2 * np.linalg.inv(xmat.T @ xmat)
+    t_stat = float(beta[0] / np.sqrt(cov[0, 0]))
+    critical = {"1%": -3.43, "5%": -2.86, "10%": -2.57}
+    return ADFResult(statistic=t_stat, nlags=nlags, nobs=len(y), critical_values=critical)
+
+
+@dataclass
+class Decomposition:
+    """Classical additive decomposition: x = trend + seasonal + resid."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    resid: np.ndarray
+    period: int
+
+    def seasonal_strength(self) -> float:
+        """Hyndman's strength-of-seasonality in [0, 1]."""
+        detrended = self.seasonal + self.resid
+        mask = ~np.isnan(self.resid)
+        var_resid = float(np.var(self.resid[mask]))
+        var_det = float(np.var(detrended[mask]))
+        if var_det == 0:
+            return 0.0
+        return max(0.0, 1.0 - var_resid / var_det)
+
+
+def seasonal_decompose(series: np.ndarray, period: int) -> Decomposition:
+    """Classical moving-average additive decomposition.
+
+    Trend = centred moving average of length ``period``; seasonal =
+    per-phase mean of the detrended series (normalized to sum to zero);
+    residual = the rest. Edges where the centred window doesn't fit are
+    NaN in trend/resid, matching the classical convention.
+    """
+    series = np.asarray(series, float)
+    if series.ndim != 1:
+        raise ValueError("series must be 1-D")
+    if period < 2 or len(series) < 2 * period:
+        raise ValueError(
+            f"need at least two full periods ({2 * period}) of data, have {len(series)}"
+        )
+
+    # centred moving average (even periods use the standard 2x MA)
+    if period % 2 == 0:
+        kernel = np.concatenate(([0.5], np.ones(period - 1), [0.5])) / period
+    else:
+        kernel = np.ones(period) / period
+    half = len(kernel) // 2
+    trend = np.full(len(series), np.nan)
+    trend[half : len(series) - half] = np.convolve(series, kernel, mode="valid")
+
+    detrended = series - trend
+    phases = np.arange(len(series)) % period
+    seasonal_means = np.array(
+        [np.nanmean(detrended[phases == p]) for p in range(period)]
+    )
+    seasonal_means -= seasonal_means.mean()
+    seasonal = seasonal_means[phases]
+    resid = series - trend - seasonal
+    return Decomposition(trend=trend, seasonal=seasonal, resid=resid, period=period)

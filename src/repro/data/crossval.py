@@ -1,0 +1,109 @@
+"""Rolling-origin cross-validation for time series.
+
+Algorithm 1's final step feeds the data "into RPTCN model for training and
+cross-validation". For time series the valid form is rolling-origin
+(forward-chaining) evaluation: each fold trains on a prefix of the windows
+and validates on the block immediately after it, so no fold ever trains on
+the future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..models.base import Forecaster, create_forecaster
+from ..training.metrics import mae, mse
+
+__all__ = ["Fold", "rolling_origin_folds", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One forward-chaining fold (index ranges into the window arrays)."""
+
+    train: slice
+    test: slice
+
+    def sizes(self) -> tuple[int, int]:
+        return (self.train.stop - self.train.start, self.test.stop - self.test.start)
+
+
+def rolling_origin_folds(
+    n: int,
+    n_folds: int = 5,
+    min_train_fraction: float = 0.4,
+    expanding: bool = True,
+) -> list[Fold]:
+    """Build forward-chaining folds over ``n`` chronologically ordered samples.
+
+    The first ``min_train_fraction`` of the data is always training; the
+    remainder is cut into ``n_folds`` equal test blocks. ``expanding``
+    grows the training prefix fold by fold (the standard scheme);
+    ``expanding=False`` slides a fixed-length training window instead.
+    """
+    if n < 10:
+        raise ValueError(f"too few samples ({n}) for rolling-origin CV")
+    if n_folds < 1:
+        raise ValueError(f"n_folds must be >= 1, got {n_folds}")
+    if not 0.0 < min_train_fraction < 1.0:
+        raise ValueError(f"min_train_fraction must be in (0, 1), got {min_train_fraction}")
+
+    first_test = int(n * min_train_fraction)
+    block = (n - first_test) // n_folds
+    if block < 1:
+        raise ValueError(
+            f"n={n} with min_train_fraction={min_train_fraction} leaves no room "
+            f"for {n_folds} test blocks"
+        )
+
+    folds = []
+    train_len = first_test
+    for k in range(n_folds):
+        test_start = first_test + k * block
+        test_stop = n if k == n_folds - 1 else test_start + block
+        train_start = 0 if expanding else test_start - train_len
+        folds.append(Fold(train=slice(train_start, test_start), test=slice(test_start, test_stop)))
+    return folds
+
+
+def cross_validate(
+    forecaster_factory: str | Callable[[], Forecaster],
+    x: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 5,
+    forecaster_kwargs: dict[str, Any] | None = None,
+    min_train_fraction: float = 0.4,
+) -> dict[str, Any]:
+    """Rolling-origin evaluation of a forecaster.
+
+    ``forecaster_factory`` is a registry name (instantiated fresh per fold
+    with ``forecaster_kwargs``) or a zero-arg callable returning a new
+    forecaster. Returns per-fold and aggregate MSE/MAE.
+    """
+    x = np.asarray(x, float)
+    y = np.asarray(y, float)
+    folds = rolling_origin_folds(len(x), n_folds, min_train_fraction)
+
+    fold_mse, fold_mae = [], []
+    for fold in folds:
+        if isinstance(forecaster_factory, str):
+            model = create_forecaster(forecaster_factory, **(forecaster_kwargs or {}))
+        else:
+            model = forecaster_factory()
+        model.fit(x[fold.train], y[fold.train])
+        pred = model.predict(x[fold.test])
+        fold_mse.append(mse(y[fold.test], pred))
+        fold_mae.append(mae(y[fold.test], pred))
+
+    return {
+        "folds": folds,
+        "mse": fold_mse,
+        "mae": fold_mae,
+        "mean_mse": float(np.mean(fold_mse)),
+        "mean_mae": float(np.mean(fold_mae)),
+        "std_mse": float(np.std(fold_mse)),
+        "std_mae": float(np.std(fold_mae)),
+    }

@@ -1,0 +1,151 @@
+"""Sliding windows and the paper's chronological 6:2:2 split.
+
+Windows are produced with ``np.lib.stride_tricks.sliding_window_view``
+(views, no copies — per the HPC guide) and only materialized at batch
+time. The split is strictly chronological: training data precedes
+validation precedes test, so no future information leaks backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["make_windows", "chronological_split", "SplitIndices", "WindowDataset"]
+
+
+def make_windows(
+    features: np.ndarray,
+    target: np.ndarray,
+    window: int,
+    horizon: int = 1,
+    stride: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build supervised pairs from aligned series.
+
+    Returns ``X`` of shape ``(N, window, F)`` and ``y`` of shape
+    ``(N, horizon)`` where ``y[i]`` holds the target at the ``horizon``
+    steps immediately after window ``i``.
+    """
+    features = np.asarray(features, float)
+    target = np.asarray(target, float)
+    if features.ndim == 1:
+        features = features[:, None]
+    if features.ndim != 2 or target.ndim != 1:
+        raise ValueError(
+            f"features must be (T, F) and target (T,), got {features.shape}, {target.shape}"
+        )
+    if len(features) != len(target):
+        raise ValueError(f"length mismatch: {len(features)} features vs {len(target)} target")
+    if window < 1 or horizon < 1 or stride < 1:
+        raise ValueError("window, horizon and stride must all be >= 1")
+    t = len(features)
+    n = (t - window - horizon) // stride + 1
+    if n < 1:
+        raise ValueError(
+            f"series of length {t} too short for window={window}, horizon={horizon}"
+        )
+
+    x_view = np.lib.stride_tricks.sliding_window_view(features, window, axis=0)
+    # sliding_window_view puts the window axis last: (T-w+1, F, w) -> (N, w, F)
+    starts = np.arange(n) * stride
+    x = x_view[starts].transpose(0, 2, 1)
+
+    y_view = np.lib.stride_tricks.sliding_window_view(target, horizon)
+    y = y_view[starts + window]
+    return np.ascontiguousarray(x), np.ascontiguousarray(y)
+
+
+@dataclass(frozen=True)
+class SplitIndices:
+    """Chronological index ranges for train / validation / test."""
+
+    train: slice
+    val: slice
+    test: slice
+
+    def sizes(self) -> tuple[int, int, int]:
+        return (
+            self.train.stop - self.train.start,
+            self.val.stop - self.val.start,
+            self.test.stop - self.test.start,
+        )
+
+
+def chronological_split(
+    n: int, ratios: tuple[float, float, float] = (0.6, 0.2, 0.2)
+) -> SplitIndices:
+    """The paper's 6:2:2 split ("a common ratio in time-series data")."""
+    if n < 3:
+        raise ValueError(f"cannot split {n} samples three ways")
+    if len(ratios) != 3 or any(r <= 0 for r in ratios) or abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must be three positive numbers summing to 1, got {ratios}")
+    n_train = int(n * ratios[0])
+    n_val = int(n * ratios[1])
+    n_train = max(1, n_train)
+    n_val = max(1, n_val)
+    if n_train + n_val >= n:
+        raise ValueError(f"split leaves no test data for n={n}, ratios={ratios}")
+    return SplitIndices(
+        train=slice(0, n_train),
+        val=slice(n_train, n_train + n_val),
+        test=slice(n_train + n_val, n),
+    )
+
+
+class WindowDataset:
+    """Windowed supervised dataset with chronological splits and batching."""
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        target: np.ndarray,
+        window: int,
+        horizon: int = 1,
+        ratios: tuple[float, float, float] = (0.6, 0.2, 0.2),
+    ) -> None:
+        self.x, self.y = make_windows(features, target, window, horizon)
+        self.window = window
+        self.horizon = horizon
+        self.split = chronological_split(len(self.x), ratios)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def _part(self, s: slice) -> tuple[np.ndarray, np.ndarray]:
+        return self.x[s], self.y[s]
+
+    @property
+    def train(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._part(self.split.train)
+
+    @property
+    def val(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._part(self.split.val)
+
+    @property
+    def test(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._part(self.split.test)
+
+    def batches(
+        self,
+        part: str = "train",
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield mini-batches from one split.
+
+        Shuffling permutes *windows* (not time steps), which is safe for
+        i.i.d. mini-batch SGD because each window is a self-contained
+        supervised sample.
+        """
+        x, y = self._part(getattr(self.split, part))
+        idx = np.arange(len(x))
+        if shuffle:
+            (rng or np.random.default_rng()).shuffle(idx)
+        for start in range(0, len(idx), batch_size):
+            sel = idx[start : start + batch_size]
+            yield x[sel], y[sel]

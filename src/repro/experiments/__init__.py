@@ -1,0 +1,41 @@
+"""Experiment harnesses — one per paper table/figure (see DESIGN.md §4)."""
+
+from .accuracy import Table2Result, run_table2
+from .characterization import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig7,
+)
+from .config import ExperimentProfile, PROFILES, get_profile
+from .convergence import run_fig9, run_fig10
+from .curves import Fig8Result, run_fig8
+from .generalization import GeneralizationResult, run_generalization
+from .horizon import HorizonResult, run_horizon_sweep
+from .persistence import load_result, save_result, to_jsonable
+from .robustness import RobustnessResult, run_robustness
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "run_table2",
+    "Table2Result",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig7",
+    "run_fig8",
+    "Fig8Result",
+    "run_fig9",
+    "run_fig10",
+    "run_horizon_sweep",
+    "HorizonResult",
+    "run_robustness",
+    "RobustnessResult",
+    "run_generalization",
+    "GeneralizationResult",
+    "save_result",
+    "load_result",
+    "to_jsonable",
+]

@@ -1,0 +1,75 @@
+"""Experiment sizing profiles.
+
+``quick`` keeps every harness under a few seconds for CI and the pytest
+benchmarks; ``paper`` scales the synthetic cluster and training budgets up
+to produce smoother curves (still minutes, not the authors' GPU-days —
+the *shape* of the results is what is being reproduced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentProfile", "PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    name: str
+    #: synthetic trace sizing
+    n_steps: int
+    n_machines: int
+    containers_per_machine: int
+    #: entities evaluated per level (metrics averaged across them)
+    n_entities: int
+    #: supervised-learning setup (paper: window over 10 s samples, 1-step)
+    window: int = 12
+    horizon: int = 1
+    #: deep-model training budget
+    epochs: int = 60
+    batch_size: int = 32
+    patience: int = 10
+    #: classical baselines
+    arima_order: tuple[int, int, int] = (2, 1, 1)
+    gbt_estimators: int = 150
+    seed: int = 2021
+    #: per-model extra kwargs
+    model_overrides: dict = field(default_factory=dict)
+
+
+PROFILES: dict[str, ExperimentProfile] = {
+    "quick": ExperimentProfile(
+        name="quick",
+        n_steps=700,
+        n_machines=2,
+        containers_per_machine=2,
+        n_entities=1,
+        epochs=25,
+        gbt_estimators=60,
+    ),
+    "default": ExperimentProfile(
+        name="default",
+        n_steps=1600,
+        n_machines=4,
+        containers_per_machine=3,
+        n_entities=2,
+        epochs=40,
+        gbt_estimators=120,
+    ),
+    "paper": ExperimentProfile(
+        name="paper",
+        n_steps=4000,
+        n_machines=8,
+        containers_per_machine=3,
+        n_entities=3,
+        epochs=80,
+        gbt_estimators=250,
+    ),
+}
+
+
+def get_profile(name: str) -> ExperimentProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown profile {name!r}; available: {sorted(PROFILES)}") from None

@@ -1,0 +1,80 @@
+"""Fig. 8 harness — predicted vs. true curves around a mutation point.
+
+The paper's Fig. 8 plots each model's Mul-Exp test-set predictions on a
+machine whose CPU utilization "increases abruptly after the 350th sampling
+point, and then maintains a high CPU resource utilization". The synthetic
+counterpart uses the :func:`repro.traces.workloads.mutation_load`
+archetype with the jump placed inside the chronological test split, and
+reports per-model tracking error before and after the jump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.pipeline import PipelineConfig, PredictionPipeline
+from ..traces.generator import ClusterTraceGenerator, TraceConfig
+from ..training.metrics import mae
+from .accuracy import model_kwargs_for
+from .config import ExperimentProfile, get_profile
+
+__all__ = ["Fig8Result", "run_fig8"]
+
+_FIG8_MODELS = ("lstm", "xgboost", "cnn_lstm", "rptcn")
+
+
+@dataclass
+class Fig8Result:
+    """Test-set truth, per-model predictions, and mutation diagnostics."""
+
+    truth: np.ndarray
+    predictions: dict[str, np.ndarray] = field(default_factory=dict)
+    jump_index: int = -1  # index of the jump within the test segment
+    pre_jump_mae: dict[str, float] = field(default_factory=dict)
+    post_jump_mae: dict[str, float] = field(default_factory=dict)
+
+    def tracking_error(self, model: str) -> float:
+        """Overall MAE of one model on the mutation series."""
+        return mae(self.truth, self.predictions[model])
+
+    def best_post_jump(self) -> str:
+        """Model with the lowest MAE after the mutation point."""
+        return min(self.post_jump_mae, key=self.post_jump_mae.get)
+
+
+def run_fig8(
+    profile: str | ExperimentProfile = "quick",
+    jump_at: float = 0.85,
+    models: tuple[str, ...] = _FIG8_MODELS,
+) -> Fig8Result:
+    """Regenerate Fig. 8: all models on the machine-level mutation series."""
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    gen = ClusterTraceGenerator(TraceConfig(n_steps=prof.n_steps, seed=prof.seed))
+    entity = gen.generate_entity(
+        "mutation", entity_id="m_fig8", kind="machine", jump_at=jump_at
+    )
+
+    pipe = PredictionPipeline(
+        PipelineConfig(scenario="mul_exp", window=prof.window, horizon=prof.horizon)
+    )
+    prepared = pipe.prepare(entity)
+    _, truth = prepared.dataset.test
+    truth = truth[:, 0]
+
+    # locate the jump inside the test segment from the truth itself
+    diffs = np.abs(np.diff(truth))
+    jump_index = int(np.argmax(diffs)) if diffs.size else 0
+
+    result = Fig8Result(truth=truth, jump_index=jump_index)
+    for model in models:
+        run = pipe.run(entity, model, model_kwargs_for(model, prof), prepared=prepared)
+        pred = run.predictions[:, 0]
+        result.predictions[model] = pred
+        if 0 < jump_index < len(truth) - 1:
+            result.pre_jump_mae[model] = mae(truth[:jump_index], pred[:jump_index])
+            result.post_jump_mae[model] = mae(truth[jump_index + 1 :], pred[jump_index + 1 :])
+        else:
+            result.pre_jump_mae[model] = result.post_jump_mae[model] = mae(truth, pred)
+    return result

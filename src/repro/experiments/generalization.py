@@ -1,0 +1,94 @@
+"""Generalization harness — the paper's §V-B/V-C claim.
+
+"Through the verification of resource utilization of the workloads
+running on machines and containers, we can see that the model has good
+generalization and can be widely used in similar resource prediction
+scenarios." Two generalization axes are measured:
+
+* **cross-entity**: train on one container, evaluate (without refitting)
+  on the test windows of *other* containers of the same cluster;
+* **cross-level**: train on a container, evaluate on a machine (and the
+  reverse) — the harder shift the paper's claim implies.
+
+Both compare against the same model trained in-domain, so the reported
+number is a *generalization gap*, not a bare error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.pipeline import PipelineConfig, PredictionPipeline
+from ..traces.generator import ClusterTraceGenerator, TraceConfig
+from ..traces.schema import EntityTrace
+from ..training.metrics import mae, mse
+from .accuracy import model_kwargs_for
+from .config import ExperimentProfile, get_profile
+
+__all__ = ["GeneralizationResult", "run_generalization"]
+
+
+@dataclass
+class GeneralizationResult:
+    """Per-target transfer vs in-domain errors."""
+
+    model: str
+    source_id: str
+    #: target entity id → {"transfer": {...}, "in_domain": {...}}
+    targets: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def gap(self, target_id: str, metric: str = "mse") -> float:
+        """transfer / in-domain error ratio (1.0 = perfect generalization)."""
+        entry = self.targets[target_id]
+        return entry["transfer"][metric] / entry["in_domain"][metric]
+
+    def mean_gap(self, metric: str = "mse") -> float:
+        return float(np.mean([self.gap(t, metric) for t in self.targets]))
+
+
+def _transfer_eval(forecaster, pipe: PredictionPipeline, entity: EntityTrace) -> dict:
+    prepared = pipe.prepare(entity)
+    xe, ye = prepared.dataset.test
+    pred = forecaster.predict(xe)
+    return {"mse": mse(ye, pred), "mae": mae(ye, pred)}
+
+
+def run_generalization(
+    profile: str | ExperimentProfile = "quick",
+    model: str = "rptcn",
+    n_targets: int = 3,
+) -> GeneralizationResult:
+    """Train once on a container, transfer to siblings and to a machine."""
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    gen = ClusterTraceGenerator(
+        TraceConfig(
+            n_machines=max(prof.n_machines, 2),
+            containers_per_machine=max(prof.containers_per_machine, 2),
+            n_steps=prof.n_steps,
+            seed=prof.seed,
+        )
+    )
+    trace = gen.generate()
+    source = trace.containers[0]
+    targets: list[EntityTrace] = trace.containers[1 : 1 + max(1, n_targets - 1)]
+    targets.append(trace.machines[0])  # the cross-level shift
+
+    pipe = PredictionPipeline(
+        PipelineConfig(scenario="mul_exp", window=prof.window, horizon=prof.horizon)
+    )
+
+    # one model fitted on the source entity
+    source_run = pipe.run(source, model, model_kwargs_for(model, prof))
+    fitted = source_run.forecaster
+
+    result = GeneralizationResult(model=model, source_id=source.entity_id)
+    for target in targets:
+        transfer = _transfer_eval(fitted, pipe, target)
+        in_domain = pipe.run(target, model, model_kwargs_for(model, prof)).metrics
+        result.targets[target.entity_id] = {
+            "transfer": transfer,
+            "in_domain": {"mse": in_domain["mse"], "mae": in_domain["mae"]},
+        }
+    return result

@@ -1,0 +1,62 @@
+"""Persist experiment results to JSON for longitudinal comparison.
+
+Reproduction runs accumulate: saving each harness's output lets CI diff
+today's shape against yesterday's and lets EXPERIMENTS.md cite a concrete
+artifact. Only plain-JSON types are written; numpy scalars/arrays are
+converted on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_result", "load_result"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert results (dataclasses, numpy, tuples) to JSON types."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, slice):
+        return {"__slice__": [obj.start, obj.stop, obj.step]}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__, **to_jsonable(asdict(obj))}
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            key = "|".join(map(str, k)) if isinstance(k, tuple) else str(k)
+            out[key] = to_jsonable(v)
+        return out
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialize {type(obj).__name__} to JSON")
+
+
+def save_result(result: Any, path: str | Path, experiment: str = "") -> Path:
+    """Write a result object with provenance metadata; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": experiment,
+        "written_at": datetime.now(timezone.utc).isoformat(),
+        "result": to_jsonable(result),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: str | Path) -> dict:
+    """Load a previously saved result payload."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,97 @@
+"""Multi-seed robustness analysis.
+
+The paper reports single numbers per Table II cell; with stochastic
+training and a stochastic substrate, claims should survive seed
+variation. This harness repeats an accuracy cell across seeds and
+reports mean +/- std plus per-seed win counts — the evidence behind
+EXPERIMENTS.md's "shape reproduced" statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..data.pipeline import PipelineConfig, PredictionPipeline
+from ..traces.generator import ClusterTraceGenerator, TraceConfig
+from .accuracy import model_kwargs_for
+from .config import ExperimentProfile, get_profile
+
+__all__ = ["RobustnessResult", "run_robustness"]
+
+
+@dataclass
+class RobustnessResult:
+    """model → per-seed metric arrays, plus derived statistics."""
+
+    scenario: str
+    level: str
+    seeds: tuple[int, ...] = ()
+    mse: dict[str, list[float]] = field(default_factory=dict)
+    mae: dict[str, list[float]] = field(default_factory=dict)
+
+    def summary(self, metric: str = "mse") -> dict[str, tuple[float, float]]:
+        """model → (mean, std) over seeds."""
+        data = getattr(self, metric)
+        return {m: (float(np.mean(v)), float(np.std(v))) for m, v in data.items()}
+
+    def win_counts(self, metric: str = "mse") -> dict[str, int]:
+        """How many seeds each model wins."""
+        data = getattr(self, metric)
+        models = sorted(data)
+        wins = {m: 0 for m in models}
+        for i in range(len(self.seeds)):
+            best = min(models, key=lambda m: data[m][i])
+            wins[best] += 1
+        return wins
+
+    def mean_rank(self, metric: str = "mse") -> dict[str, float]:
+        """Average rank (1 = best) per model across seeds."""
+        data = getattr(self, metric)
+        models = sorted(data)
+        ranks = {m: 0.0 for m in models}
+        for i in range(len(self.seeds)):
+            order = sorted(models, key=lambda m: data[m][i])
+            for r, m in enumerate(order, start=1):
+                ranks[m] += r
+        return {m: r / len(self.seeds) for m, r in ranks.items()}
+
+
+def run_robustness(
+    profile: str | ExperimentProfile = "quick",
+    scenario: str = "mul_exp",
+    level: str = "machines",
+    models: tuple[str, ...] = ("lstm", "xgboost", "rptcn"),
+    seeds: tuple[int, ...] = (1, 2, 3),
+) -> RobustnessResult:
+    """Repeat one Table II cell across substrate+training seeds."""
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    result = RobustnessResult(scenario=scenario, level=level, seeds=tuple(seeds))
+    for m in models:
+        result.mse[m] = []
+        result.mae[m] = []
+
+    for seed in seeds:
+        gen = ClusterTraceGenerator(
+            TraceConfig(
+                n_machines=max(prof.n_machines, 1),
+                containers_per_machine=prof.containers_per_machine,
+                n_steps=prof.n_steps,
+                seed=seed,
+            )
+        )
+        trace = gen.generate()
+        entity = trace.machines[0] if level == "machines" else trace.containers[0]
+
+        pipe = PredictionPipeline(
+            PipelineConfig(scenario=scenario, window=prof.window, horizon=prof.horizon)
+        )
+        prepared = pipe.prepare(entity)
+        seed_prof = replace(prof, seed=seed)
+        for model in models:
+            run = pipe.run(entity, model, model_kwargs_for(model, seed_prof),
+                           prepared=prepared)
+            result.mse[model].append(run.metrics["mse"])
+            result.mae[model].append(run.metrics["mae"])
+    return result

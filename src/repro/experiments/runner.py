@@ -1,0 +1,198 @@
+"""CLI entry point: regenerate any paper artifact from the command line.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment table2 --profile default
+    python -m repro.experiments.runner --experiment all --profile quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from ..analysis.reporting import format_table, format_table2, render_ascii_series
+from .accuracy import run_table2
+from .characterization import run_fig1, run_fig2, run_fig3, run_fig7
+from .config import PROFILES
+from .convergence import run_fig9, run_fig10
+from .curves import run_fig8
+from .generalization import run_generalization
+from .horizon import run_horizon_sweep
+from .robustness import run_robustness
+
+__all__ = ["main"]
+
+#: paper artifacts (always in --experiment all)
+EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10")
+#: extension harnesses (run individually, or via --experiment extensions)
+EXTENSIONS = ("horizon", "robustness", "generalization")
+
+
+def _print_fig1(profile: str) -> None:
+    res = run_fig1(profile)
+    print(f"Fig. 1 — resource utilization of container {res.entity_id}")
+    for name, series in res.series.items():
+        print(render_ascii_series(series, label=name[:12]))
+    print(f"cpu dynamism (mean |step|): {res.dynamism():.3f} %/sample")
+
+
+def _print_fig2(profile: str) -> None:
+    res = run_fig2(profile)
+    print(f"Fig. 2 — cluster-average CPU boxplots (window={res.window} samples)")
+    rows = [
+        [i, s.minimum, s.q1, s.median, s.q3, s.maximum, s.mean]
+        for i, s in enumerate(res.stats)
+    ]
+    print(format_table(["win", "min", "q1", "median", "q3", "max", "mean"], rows))
+    print("summary:", {k: round(v, 3) for k, v in res.summary.items()})
+
+
+def _print_fig3(profile: str) -> None:
+    res = run_fig3(profile)
+    print(f"Fig. 3 — fraction of machines below {res.threshold:.0f}% CPU")
+    print(render_ascii_series(res.fractions, label="frac<50%"))
+    print(f"overall: {res.overall_fraction:.3f}")
+
+
+def _print_fig7(profile: str) -> None:
+    res = run_fig7(profile)
+    print(f"Fig. 7 — indicator correlation matrix of {res.entity_id}")
+    short = [n[:8] for n in res.names]
+    rows = [[short[i], *[f"{v:+.2f}" for v in res.matrix[i]]] for i in range(len(short))]
+    print(format_table(["", *short], rows))
+    print("top-4 correlated with cpu:", res.top_correlated(4))
+
+
+def _print_table2(profile: str) -> None:
+    res = run_table2(profile)
+    print(format_table2(res.metrics))
+    lo, hi = res.improvement_range("mae")
+    print(f"RPTCN MAE improvement over Mul-Exp baselines: {lo:.2f}% .. {hi:.2f}%")
+    for level in ("containers", "machines"):
+        print(f"best model (mul_exp, {level}):", res.best_model("mul_exp", level))
+
+
+def _print_fig8(profile: str) -> None:
+    res = run_fig8(profile)
+    print(f"Fig. 8 — predicted vs true around the mutation (jump at test idx {res.jump_index})")
+    print(render_ascii_series(res.truth, label="truth"))
+    for model, pred in res.predictions.items():
+        print(render_ascii_series(pred, label=model))
+    rows = [
+        [m, res.pre_jump_mae[m], res.post_jump_mae[m], res.tracking_error(m)]
+        for m in res.predictions
+    ]
+    print(format_table(["model", "pre-jump MAE", "post-jump MAE", "overall MAE"], rows))
+    print("best post-jump tracker:", res.best_post_jump())
+
+
+def _print_convergence(res, title: str) -> None:
+    print(title)
+    for model, curve in res.curves.items():
+        print(render_ascii_series(np.asarray(curve), label=model))
+    rows = [
+        [r.model, r.initial_loss, r.final_loss, r.best_loss, r.epochs_to_90pct]
+        for r in res.records
+    ]
+    print(format_table(["model", "initial", "final", "best", "ep@90%"], rows))
+
+
+def _print_fig9(profile: str) -> None:
+    _print_convergence(run_fig9(profile), "Fig. 9 — training loss on containers")
+
+
+def _print_fig10(profile: str) -> None:
+    _print_convergence(run_fig10(profile), "Fig. 10 — validation loss on machines")
+
+
+def _print_horizon(profile: str) -> None:
+    res = run_horizon_sweep(profile)
+    rows = [
+        [m, h, per[h]["mse"] * 100, per[h]["mae"] * 100]
+        for m, per in res.metrics.items()
+        for h in res.horizons
+    ]
+    print(format_table(["model", "horizon", "MSE(e-2)", "MAE(e-2)"], rows,
+                       title="Long-term horizon sweep"))
+    print("best at longest horizon:", res.best_at(max(res.horizons)))
+
+
+def _print_robustness(profile: str) -> None:
+    res = run_robustness(profile)
+    ranks = res.mean_rank()
+    wins = res.win_counts()
+    rows = [
+        [m, f"{mu * 100:.4f} ± {sd * 100:.4f}", f"{ranks[m]:.2f}", wins[m]]
+        for m, (mu, sd) in res.summary().items()
+    ]
+    print(format_table(["model", "MSE(e-2) mean±std", "mean rank", "wins"], rows,
+                       title=f"{res.level}/{res.scenario} across seeds {res.seeds}"))
+
+
+def _print_generalization(profile: str) -> None:
+    res = run_generalization(profile)
+    rows = [
+        [t, e["transfer"]["mse"] * 100, e["in_domain"]["mse"] * 100,
+         f"x{res.gap(t):.2f}"]
+        for t, e in res.targets.items()
+    ]
+    print(format_table(
+        ["target", "transfer MSE(e-2)", "in-domain MSE(e-2)", "gap"], rows,
+        title=f"{res.model} trained on {res.source_id}, transferred unchanged",
+    ))
+    print(f"mean generalization gap: x{res.mean_gap():.2f}")
+
+
+_RUNNERS = {
+    "fig1": _print_fig1,
+    "fig2": _print_fig2,
+    "fig3": _print_fig3,
+    "fig7": _print_fig7,
+    "table2": _print_table2,
+    "fig8": _print_fig8,
+    "fig9": _print_fig9,
+    "fig10": _print_fig10,
+    "horizon": _print_horizon,
+    "robustness": _print_robustness,
+    "generalization": _print_generalization,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="RPTCN reproduction experiments")
+    parser.add_argument(
+        "--experiment",
+        "-e",
+        default="all",
+        choices=(*EXPERIMENTS, *EXTENSIONS, "all", "extensions"),
+        help="paper artifact or extension harness to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        "-p",
+        default="quick",
+        choices=sorted(PROFILES),
+        help="sizing profile (quick/default/paper)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        targets: tuple[str, ...] = EXPERIMENTS
+    elif args.experiment == "extensions":
+        targets = EXTENSIONS
+    else:
+        targets = (args.experiment,)
+    for name in targets:
+        t0 = time.time()
+        print(f"\n=== {name} (profile={args.profile}) " + "=" * 30)
+        _RUNNERS[name](args.profile)
+        print(f"--- {name} done in {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Forecaster interface and registry.
+
+Every model — deep or classical — consumes the same windowed supervised
+format produced by :mod:`repro.data.windowing`:
+
+* ``x``: ``(N, window, features)`` normalized inputs,
+* ``y``: ``(N, horizon)`` future values of the target indicator.
+
+``target_col`` names the feature column holding the target's *current*
+value (needed by the univariate classical models and the naive baselines).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Type
+
+import numpy as np
+
+from ..nn.losses import MSELoss
+from ..nn.module import Module
+from ..nn.optim import Adam
+from ..training.callbacks import EarlyStopping
+from ..training.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Forecaster",
+    "NeuralForecaster",
+    "register_forecaster",
+    "create_forecaster",
+    "FORECASTER_REGISTRY",
+]
+
+
+class Forecaster(abc.ABC):
+    """fit/predict interface over windowed data."""
+
+    #: short machine name, set by the registry decorator
+    name: str = ""
+
+    def __init__(self, horizon: int = 1, target_col: int = 0) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = horizon
+        self.target_col = target_col
+        self.fitted = False
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> "Forecaster":
+        """Train on windowed data; validation data drives early stopping."""
+
+    @abc.abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Return ``(N, horizon)`` predictions."""
+
+    # -- shared validation helpers -------------------------------------------
+
+    @staticmethod
+    def _check_xy(x: np.ndarray, y: np.ndarray | None = None) -> None:
+        x = np.asarray(x)
+        if x.ndim != 3:
+            raise ValueError(f"x must be (N, window, features), got shape {x.shape}")
+        if y is not None:
+            y = np.asarray(y)
+            if y.ndim != 2 or len(y) != len(x):
+                raise ValueError(
+                    f"y must be (N, horizon) aligned with x, got {y.shape} for x {x.shape}"
+                )
+
+    def _check_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+
+
+#: name → Forecaster subclass
+FORECASTER_REGISTRY: dict[str, Type[Forecaster]] = {}
+
+
+def register_forecaster(name: str) -> Callable[[Type[Forecaster]], Type[Forecaster]]:
+    """Class decorator adding the forecaster to the global registry."""
+
+    def deco(cls: Type[Forecaster]) -> Type[Forecaster]:
+        if name in FORECASTER_REGISTRY:
+            raise KeyError(f"forecaster {name!r} already registered")
+        FORECASTER_REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def create_forecaster(name: str, **kwargs) -> Forecaster:
+    """Instantiate a registered forecaster by name."""
+    try:
+        cls = FORECASTER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown forecaster {name!r}; registered: {sorted(FORECASTER_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+class NeuralForecaster(Forecaster):
+    """Shared training plumbing for the deep models.
+
+    Subclasses implement :meth:`build` returning an ``nn.Module`` mapping
+    ``(N, window, features)`` tensors to ``(N, horizon)``. Training follows
+    the paper's recipe: Adam + MSE, EarlyStopping(patience=10) on
+    validation loss with best-weight restore.
+    """
+
+    def __init__(
+        self,
+        horizon: int = 1,
+        target_col: int = 0,
+        epochs: int = 60,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        patience: int = 10,
+        grad_clip_norm: float | None = 5.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.patience = patience
+        self.grad_clip_norm = grad_clip_norm
+        self.seed = seed
+        self.model: Module | None = None
+        self.trainer: Trainer | None = None
+        self.history: TrainingHistory | None = None
+
+    @abc.abstractmethod
+    def build(self, window: int, features: int, rng: np.random.Generator) -> Module:
+        """Construct the underlying network for the given input shape."""
+
+    def _make_loss(self) -> Module:
+        """Training objective; subclasses may override (e.g. pinball)."""
+        return MSELoss()
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> "NeuralForecaster":
+        self._check_xy(x, y)
+        rng = np.random.default_rng(self.seed)
+        _, window, features = x.shape
+        self.model = self.build(window, features, rng)
+        self.trainer = Trainer(
+            self.model,
+            Adam(self.model.parameters(), lr=self.lr),
+            self._make_loss(),
+            grad_clip_norm=self.grad_clip_norm,
+            rng=rng,
+        )
+        callbacks = []
+        if x_val is not None and y_val is not None:
+            callbacks.append(EarlyStopping(patience=self.patience))
+        self.history = self.trainer.fit(
+            x,
+            y,
+            x_val,
+            y_val,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            callbacks=callbacks,
+        )
+        self.fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        self._check_xy(x)
+        assert self.trainer is not None
+        return self.trainer.predict(x)
+
+    @property
+    def loss_curves(self) -> dict[str, list[float]]:
+        """Train/validation loss per epoch (Figs. 9-10 data)."""
+        self._check_fitted()
+        assert self.history is not None
+        return self.history.as_dict()

@@ -1,0 +1,71 @@
+"""Bidirectional LSTM forecaster (Gupta & Dinesh 2017, the paper's ref [41]).
+
+The related-work baseline that reads each window both forward and
+backward. Bidirectionality over the *input window* is causal with respect
+to the forecast target (the window wholly precedes it), so this is a
+legitimate forecaster despite the backward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.dropout import Dropout
+from ..nn.layers.linear import Linear
+from ..nn.layers.recurrent import LSTM
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import NeuralForecaster, register_forecaster
+
+__all__ = ["BiLSTMForecaster"]
+
+
+class _ReversedTime:
+    """Index helper: reverse a (N, T, F) tensor along time via gather."""
+
+    @staticmethod
+    def reverse(x: Tensor) -> Tensor:
+        t = x.shape[1]
+        return x[:, np.arange(t - 1, -1, -1), :]
+
+
+class _BiLSTMNet(Module):
+    """Forward and backward LSTMs; concatenated final states feed the head."""
+
+    def __init__(
+        self,
+        features: int,
+        hidden: int,
+        horizon: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.fwd = LSTM(features, hidden, rng=rng)
+        self.bwd = LSTM(features, hidden, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+        self.head = Linear(2 * hidden, horizon, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h_fwd = self.fwd(x)[:, -1, :]
+        h_bwd = self.bwd(_ReversedTime.reverse(x))[:, -1, :]
+        joint = Tensor.concatenate([h_fwd, h_bwd], axis=1)
+        return self.head(self.drop(joint))
+
+
+@register_forecaster("bilstm")
+class BiLSTMForecaster(NeuralForecaster):
+    def __init__(
+        self,
+        horizon: int = 1,
+        target_col: int = 0,
+        hidden: int = 24,
+        dropout: float = 0.1,
+        **train_kwargs,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col, **train_kwargs)
+        self.hidden = hidden
+        self.dropout = dropout
+
+    def build(self, window: int, features: int, rng: np.random.Generator) -> Module:
+        return _BiLSTMNet(features, self.hidden, self.horizon, self.dropout, rng)

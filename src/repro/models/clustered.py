@@ -1,0 +1,172 @@
+"""Cluster-then-predict (Yu et al. 2016, the paper's ref [37]).
+
+"They group the workloads into multiple clusters, and then they use
+neural network to learn the characteristics of each type workload. For
+each new task, they collect its initial logs, determine it belongs to
+which cluster, and use the trained neural network of its cluster."
+
+This module implements exactly that scheme on windowed data: k-means
+(from scratch, k-means++ init) over per-window summary features, one
+forecaster per cluster, routing at prediction time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import Forecaster, create_forecaster, register_forecaster
+
+__all__ = ["KMeans", "ClusteredForecaster", "window_features"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(self, k: int, max_iter: int = 100, tol: float = 1e-6, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids_: np.ndarray | None = None
+        self.inertia_: float = float("nan")
+        self.n_iter_: int = 0
+
+    def _init_centroids(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids by squared distance."""
+        n = len(x)
+        centroids = [x[rng.integers(n)]]
+        for _ in range(1, self.k):
+            d2 = np.min(
+                ((x[:, None, :] - np.asarray(centroids)[None, :, :]) ** 2).sum(-1), axis=1
+            )
+            total = d2.sum()
+            if total == 0:
+                centroids.append(x[rng.integers(n)])
+                continue
+            centroids.append(x[rng.choice(n, p=d2 / total)])
+        return np.asarray(centroids)
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, float)
+        if x.ndim != 2 or len(x) < self.k:
+            raise ValueError(f"need at least k={self.k} samples of shape (n, d)")
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(x, rng)
+        for it in range(self.max_iter):
+            d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
+            labels = d2.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for j in range(self.k):
+                members = x[labels == j]
+                if len(members):
+                    new_centroids[j] = members.mean(axis=0)
+            shift = float(np.abs(new_centroids - centroids).max())
+            centroids = new_centroids
+            self.n_iter_ = it + 1
+            if shift < self.tol:
+                break
+        self.centroids_ = centroids
+        d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
+        self.inertia_ = float(d2.min(axis=1).sum())
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.centroids_ is None:
+            raise RuntimeError("fit before predict")
+        x = np.asarray(x, float)
+        d2 = ((x[:, None, :] - self.centroids_[None, :, :]) ** 2).sum(-1)
+        return d2.argmin(axis=1)
+
+
+def window_features(x: np.ndarray, target_col: int = 0) -> np.ndarray:
+    """Summary features of each window's target history for clustering.
+
+    Level, spread, trend and roughness — enough to separate the workload
+    archetypes (idle batch vs bursty service vs steady load).
+    """
+    x = np.asarray(x, float)
+    if x.ndim != 3:
+        raise ValueError(f"x must be (N, window, features), got {x.shape}")
+    hist = x[:, :, target_col]
+    diffs = np.abs(np.diff(hist, axis=1))
+    return np.column_stack(
+        [
+            hist.mean(axis=1),
+            hist.std(axis=1),
+            hist[:, -1] - hist[:, 0],
+            diffs.mean(axis=1),
+            hist.max(axis=1) - hist.min(axis=1),
+        ]
+    )
+
+
+@register_forecaster("clustered")
+class ClusteredForecaster(Forecaster):
+    """k-means over window features, one member forecaster per cluster."""
+
+    def __init__(
+        self,
+        k: int = 3,
+        member: str = "xgboost",
+        member_kwargs: dict[str, Any] | None = None,
+        horizon: int = 1,
+        target_col: int = 0,
+        seed: int = 0,
+        min_cluster_size: int = 20,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.member = member
+        self.member_kwargs = dict(member_kwargs or {})
+        self.seed = seed
+        self.min_cluster_size = min_cluster_size
+        self.kmeans: KMeans | None = None
+        self.models: dict[int, Forecaster] = {}
+        self.fallback: Forecaster | None = None
+
+    def _make_member(self) -> Forecaster:
+        kwargs = {"horizon": self.horizon, "target_col": self.target_col,
+                  **self.member_kwargs}
+        return create_forecaster(self.member, **kwargs)
+
+    def fit(self, x, y, x_val=None, y_val=None) -> "ClusteredForecaster":
+        self._check_xy(x, y)
+        x = np.asarray(x, float)
+        y = np.asarray(y, float)
+
+        feats = window_features(x, self.target_col)
+        self.kmeans = KMeans(self.k, seed=self.seed).fit(feats)
+        labels = self.kmeans.predict(feats)
+
+        # a global fallback handles clusters too small to train on
+        self.fallback = self._make_member()
+        self.fallback.fit(x, y)
+
+        self.models = {}
+        for j in range(self.k):
+            idx = np.flatnonzero(labels == j)
+            if len(idx) >= self.min_cluster_size:
+                model = self._make_member()
+                model.fit(x[idx], y[idx])
+                self.models[j] = model
+        self.fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        self._check_xy(x)
+        x = np.asarray(x, float)
+        assert self.kmeans is not None and self.fallback is not None
+        labels = self.kmeans.predict(window_features(x, self.target_col))
+        out = np.empty((len(x), self.horizon))
+        for j in np.unique(labels):
+            idx = np.flatnonzero(labels == j)
+            model = self.models.get(int(j), self.fallback)
+            out[idx] = model.predict(x[idx])
+        return out

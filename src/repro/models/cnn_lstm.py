@@ -1,0 +1,71 @@
+"""CNN-LSTM baseline (Ouhame et al. 2021; the paper's Table II "CNN-LSTM").
+
+A 1-D convolution extracts local cross-indicator features, which the LSTM
+then integrates over time: conv (same-length padding) → ReLU → LSTM →
+last state → linear head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.conv import Conv1d
+from ..nn.layers.dropout import Dropout
+from ..nn.layers.linear import Linear
+from ..nn.layers.recurrent import LSTM
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import NeuralForecaster, register_forecaster
+
+__all__ = ["CNNLSTMForecaster"]
+
+
+class _CNNLSTMNet(Module):
+    def __init__(
+        self,
+        features: int,
+        filters: int,
+        kernel_size: int,
+        hidden: int,
+        horizon: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        # symmetric same-padding keeps the sequence length for the LSTM
+        pad = (kernel_size - 1) // 2
+        self.conv = Conv1d(features, filters, kernel_size, padding=pad, rng=rng)
+        self.lstm = LSTM(filters, hidden, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+        self.head = Linear(hidden, horizon, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.conv(x.swapaxes(1, 2)).relu()  # (N, filters, W')
+        seq = self.lstm(h.swapaxes(1, 2))  # (N, W', hidden)
+        last = seq[:, -1, :]
+        return self.head(self.drop(last))
+
+
+@register_forecaster("cnn_lstm")
+class CNNLSTMForecaster(NeuralForecaster):
+    def __init__(
+        self,
+        horizon: int = 1,
+        target_col: int = 0,
+        filters: int = 16,
+        kernel_size: int = 3,
+        hidden: int = 32,
+        dropout: float = 0.1,
+        **train_kwargs,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col, **train_kwargs)
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.hidden = hidden
+        self.dropout = dropout
+
+    def build(self, window: int, features: int, rng: np.random.Generator) -> Module:
+        return _CNNLSTMNet(
+            features, self.filters, self.kernel_size, self.hidden, self.horizon,
+            self.dropout, rng,
+        )

@@ -1,0 +1,137 @@
+"""Ensemble and hybrid forecasters (the paper's §VI-C related-work class).
+
+* :class:`EnsembleForecaster` — mean / validation-weighted combination of
+  any registered members (Cetinski & Juric 2015, ref [43], combine
+  statistical and learning methods);
+* :class:`HybridARIMANNForecaster` — Zhang (2003), ref [42]: ARIMA
+  captures the linear structure, a neural network is fitted on ARIMA's
+  residuals, and the forecasts add. The exact decomposition the paper's
+  related work describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..training.metrics import mse
+from .arima import ARIMAForecaster
+from .base import Forecaster, create_forecaster, register_forecaster
+
+__all__ = ["EnsembleForecaster", "HybridARIMANNForecaster"]
+
+
+@register_forecaster("ensemble")
+class EnsembleForecaster(Forecaster):
+    """Combine registered forecasters by (optionally weighted) averaging.
+
+    ``weighting="uniform"`` averages members; ``weighting="inverse_mse"``
+    weights each member by the inverse of its validation MSE (requires
+    validation data at fit time), so stronger members dominate smoothly.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[tuple[str, dict[str, Any]]] = (
+            ("xgboost", {"n_estimators": 60}),
+            ("lstm", {"epochs": 20}),
+        ),
+        weighting: str = "uniform",
+        horizon: int = 1,
+        target_col: int = 0,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col)
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        if weighting not in ("uniform", "inverse_mse"):
+            raise ValueError(f"weighting must be uniform/inverse_mse, got {weighting!r}")
+        self.member_specs = list(members)
+        self.weighting = weighting
+        self.members: list[Forecaster] = []
+        self.weights_: np.ndarray | None = None
+
+    def fit(self, x, y, x_val=None, y_val=None) -> "EnsembleForecaster":
+        self._check_xy(x, y)
+        self.members = []
+        for name, kwargs in self.member_specs:
+            merged = {"horizon": self.horizon, "target_col": self.target_col, **kwargs}
+            member = create_forecaster(name, **merged)
+            member.fit(x, y, x_val, y_val)
+            self.members.append(member)
+
+        if self.weighting == "inverse_mse":
+            if x_val is None or y_val is None:
+                raise ValueError("inverse_mse weighting requires validation data")
+            errors = np.array(
+                [mse(np.asarray(y_val), m.predict(x_val)) for m in self.members]
+            )
+            inv = 1.0 / np.maximum(errors, 1e-12)
+            self.weights_ = inv / inv.sum()
+        else:
+            self.weights_ = np.full(len(self.members), 1.0 / len(self.members))
+        self.fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        self._check_xy(x)
+        stacked = np.stack([m.predict(x) for m in self.members])  # (M, N, H)
+        return np.einsum("m,mnh->nh", self.weights_, stacked)
+
+
+@register_forecaster("hybrid_arima_nn")
+class HybridARIMANNForecaster(Forecaster):
+    """Zhang (2003): series = linear (ARIMA) + nonlinear (NN on residuals).
+
+    Fit ARIMA on the target series; compute its one-step residuals over
+    the training windows; fit the NN to predict those residuals from the
+    full multivariate windows; final forecast = ARIMA + NN-residual.
+    """
+
+    def __init__(
+        self,
+        order: tuple[int, int, int] = (2, 1, 1),
+        nn_name: str = "rptcn",
+        nn_kwargs: dict[str, Any] | None = None,
+        horizon: int = 1,
+        target_col: int = 0,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col)
+        if horizon != 1:
+            raise ValueError("the residual hybrid is defined for 1-step forecasts")
+        self.order = order
+        self.nn_name = nn_name
+        self.nn_kwargs = dict(nn_kwargs or {})
+        self.arima: ARIMAForecaster | None = None
+        self.nn: Forecaster | None = None
+
+    def _arima_part(self, x: np.ndarray) -> np.ndarray:
+        assert self.arima is not None
+        return self.arima.predict(x)
+
+    def fit(self, x, y, x_val=None, y_val=None) -> "HybridARIMANNForecaster":
+        self._check_xy(x, y)
+        x = np.asarray(x, float)
+        y = np.asarray(y, float)
+
+        self.arima = ARIMAForecaster(order=self.order, target_col=self.target_col)
+        self.arima.fit(x, y)
+
+        resid_train = y - self._arima_part(x)
+        resid_val = None
+        if x_val is not None and y_val is not None:
+            resid_val = np.asarray(y_val, float) - self._arima_part(np.asarray(x_val, float))
+
+        kwargs = {"horizon": 1, "target_col": self.target_col, **self.nn_kwargs}
+        self.nn = create_forecaster(self.nn_name, **kwargs)
+        self.nn.fit(x, resid_train, x_val, resid_val)
+        self.fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        self._check_xy(x)
+        x = np.asarray(x, float)
+        assert self.nn is not None
+        return self._arima_part(x) + self.nn.predict(x)

@@ -1,0 +1,105 @@
+"""Exponential-smoothing forecasters (simple and Holt's linear trend).
+
+Classical one-pass baselines from the workload-prediction literature the
+paper surveys (§VI-A). Both fit their smoothing constants by grid search
+on the training series' one-step error and then forecast each evaluation
+window independently from its own history, mirroring the ARIMA wrapper's
+rolling protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Forecaster, register_forecaster
+
+__all__ = ["simple_exponential_smoothing", "holt_linear", "HoltForecaster"]
+
+
+def simple_exponential_smoothing(series: np.ndarray, alpha: float) -> np.ndarray:
+    """Level estimates ``l_t = alpha * x_t + (1 - alpha) * l_{t-1}``.
+
+    Returns the level after observing each point; the one-step forecast
+    for ``t+1`` is ``l_t``.
+    """
+    series = np.asarray(series, float)
+    if series.ndim != 1 or len(series) == 0:
+        raise ValueError(f"series must be non-empty 1-D, got shape {series.shape}")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    from scipy.signal import lfilter
+
+    # l_t - (1-alpha) l_{t-1} = alpha x_t, seeded with l_0 = x_0
+    levels = lfilter([alpha], [1.0, -(1.0 - alpha)], series,
+                     zi=[(1.0 - alpha) * series[0]])[0]
+    return levels
+
+
+def holt_linear(
+    series: np.ndarray, alpha: float, beta: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Holt's linear-trend smoothing; returns (levels, trends) per step."""
+    series = np.asarray(series, float)
+    if series.ndim != 1 or len(series) < 2:
+        raise ValueError("need at least two points for a trend")
+    if not (0.0 < alpha <= 1.0 and 0.0 <= beta <= 1.0):
+        raise ValueError(f"invalid smoothing constants alpha={alpha}, beta={beta}")
+    levels = np.empty(len(series))
+    trends = np.empty(len(series))
+    levels[0] = series[0]
+    trends[0] = series[1] - series[0]
+    for t in range(1, len(series)):  # genuinely sequential recursion
+        levels[t] = alpha * series[t] + (1 - alpha) * (levels[t - 1] + trends[t - 1])
+        trends[t] = beta * (levels[t] - levels[t - 1]) + (1 - beta) * trends[t - 1]
+    return levels, trends
+
+
+@register_forecaster("holt")
+class HoltForecaster(Forecaster):
+    """Holt's linear trend over each window's target history.
+
+    ``fit`` grid-searches (alpha, beta) on the training series' one-step
+    error; ``predict`` smooths each window and extrapolates
+    ``level + k * trend``.
+    """
+
+    def __init__(
+        self,
+        horizon: int = 1,
+        target_col: int = 0,
+        alphas: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0),
+        betas: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5),
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col)
+        self.alphas = alphas
+        self.betas = betas
+        self.alpha_: float | None = None
+        self.beta_: float | None = None
+
+    def fit(self, x, y, x_val=None, y_val=None) -> "HoltForecaster":
+        self._check_xy(x, y)
+        x = np.asarray(x, float)
+        y = np.asarray(y, float)
+        series = np.concatenate([x[0, :, self.target_col], y[:, 0]])
+        best = (np.inf, self.alphas[0], self.betas[0])
+        for a in self.alphas:
+            for b in self.betas:
+                levels, trends = holt_linear(series, a, b)
+                one_step = levels[:-1] + trends[:-1]
+                sse = float(((series[1:] - one_step) ** 2).sum())
+                if sse < best[0]:
+                    best = (sse, a, b)
+        _, self.alpha_, self.beta_ = best
+        self.fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        self._check_xy(x)
+        x = np.asarray(x, float)
+        out = np.empty((len(x), self.horizon))
+        steps = np.arange(1, self.horizon + 1)
+        for i in range(len(x)):
+            levels, trends = holt_linear(x[i, :, self.target_col], self.alpha_, self.beta_)
+            out[i] = levels[-1] + steps * trends[-1]
+        return out

@@ -1,0 +1,58 @@
+"""GRU baseline forecaster.
+
+Not in the paper's Table II, but a standard point of comparison in the
+related work it cites (RNN-family with fewer parameters than LSTM); used
+by the extended ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.dropout import Dropout
+from ..nn.layers.linear import Linear
+from ..nn.layers.recurrent import GRU
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import NeuralForecaster, register_forecaster
+
+__all__ = ["GRUForecaster"]
+
+
+class _GRUNet(Module):
+    def __init__(
+        self,
+        features: int,
+        hidden: int,
+        layers: int,
+        horizon: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.gru = GRU(features, hidden, num_layers=layers, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+        self.head = Linear(hidden, horizon, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.drop(self.gru(x)[:, -1, :]))
+
+
+@register_forecaster("gru")
+class GRUForecaster(NeuralForecaster):
+    def __init__(
+        self,
+        horizon: int = 1,
+        target_col: int = 0,
+        hidden: int = 32,
+        layers: int = 1,
+        dropout: float = 0.1,
+        **train_kwargs,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col, **train_kwargs)
+        self.hidden = hidden
+        self.layers = layers
+        self.dropout = dropout
+
+    def build(self, window: int, features: int, rng: np.random.Generator) -> Module:
+        return _GRUNet(features, self.hidden, self.layers, self.horizon, self.dropout, rng)

@@ -1,0 +1,57 @@
+"""LSTM baseline (Tran et al. 2018; the paper's Table II "LSTM" row)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.dropout import Dropout
+from ..nn.layers.linear import Linear
+from ..nn.layers.recurrent import LSTM
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import NeuralForecaster, register_forecaster
+
+__all__ = ["LSTMForecaster"]
+
+
+class _LSTMNet(Module):
+    """(N, W, F) -> LSTM -> last hidden state -> linear head."""
+
+    def __init__(
+        self,
+        features: int,
+        hidden: int,
+        layers: int,
+        horizon: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.lstm = LSTM(features, hidden, num_layers=layers, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+        self.head = Linear(hidden, horizon, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        seq = self.lstm(x)  # (N, W, H)
+        last = seq[:, -1, :]
+        return self.head(self.drop(last))
+
+
+@register_forecaster("lstm")
+class LSTMForecaster(NeuralForecaster):
+    def __init__(
+        self,
+        horizon: int = 1,
+        target_col: int = 0,
+        hidden: int = 32,
+        layers: int = 1,
+        dropout: float = 0.1,
+        **train_kwargs,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col, **train_kwargs)
+        self.hidden = hidden
+        self.layers = layers
+        self.dropout = dropout
+
+    def build(self, window: int, features: int, rng: np.random.Generator) -> Module:
+        return _LSTMNet(features, self.hidden, self.layers, self.horizon, self.dropout, rng)

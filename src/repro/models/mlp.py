@@ -1,0 +1,64 @@
+"""MLP baseline: flatten the window, stack dense layers.
+
+The simplest learned model over the same windows — a sanity anchor
+between the naive baselines and the sequence models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.dropout import Dropout
+from ..nn.layers.linear import Linear
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import NeuralForecaster, register_forecaster
+
+__all__ = ["MLPForecaster"]
+
+
+class _MLPNet(Module):
+    def __init__(
+        self,
+        window: int,
+        features: int,
+        hidden: tuple[int, ...],
+        horizon: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        from ..nn.layers.container import ModuleList
+
+        widths = [window * features, *hidden]
+        self.layers = ModuleList(
+            Linear(widths[i], widths[i + 1], rng=rng) for i in range(len(widths) - 1)
+        )
+        self.drop = Dropout(dropout, rng=rng)
+        self.head = Linear(widths[-1], horizon, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = x.flatten_from(1)
+        for layer in self.layers:
+            h = self.drop(layer(h).relu())
+        return self.head(h)
+
+
+@register_forecaster("mlp")
+class MLPForecaster(NeuralForecaster):
+    def __init__(
+        self,
+        horizon: int = 1,
+        target_col: int = 0,
+        hidden: tuple[int, ...] = (64, 32),
+        dropout: float = 0.1,
+        **train_kwargs,
+    ) -> None:
+        super().__init__(horizon=horizon, target_col=target_col, **train_kwargs)
+        if not hidden:
+            raise ValueError("hidden may not be empty")
+        self.hidden = tuple(hidden)
+        self.dropout = dropout
+
+    def build(self, window: int, features: int, rng: np.random.Generator) -> Module:
+        return _MLPNet(window, features, self.hidden, self.horizon, self.dropout, rng)

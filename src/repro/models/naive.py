@@ -1,0 +1,67 @@
+"""Naive reference forecasters.
+
+Not in the paper's Table II, but indispensable for sanity-checking a
+forecasting benchmark: any learned model that cannot beat persistence on
+a high-dynamic series has learned nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Forecaster, register_forecaster
+
+__all__ = ["PersistenceForecaster", "MeanForecaster", "DriftForecaster"]
+
+
+@register_forecaster("persistence")
+class PersistenceForecaster(Forecaster):
+    """Predict the last observed target value for every future step."""
+
+    def fit(self, x, y, x_val=None, y_val=None) -> "PersistenceForecaster":
+        self._check_xy(x, y)
+        self.fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        self._check_xy(x)
+        last = np.asarray(x)[:, -1, self.target_col]
+        return np.repeat(last[:, None], self.horizon, axis=1)
+
+
+@register_forecaster("mean")
+class MeanForecaster(Forecaster):
+    """Predict the mean of the window's target history."""
+
+    def fit(self, x, y, x_val=None, y_val=None) -> "MeanForecaster":
+        self._check_xy(x, y)
+        self.fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        self._check_xy(x)
+        m = np.asarray(x)[:, :, self.target_col].mean(axis=1)
+        return np.repeat(m[:, None], self.horizon, axis=1)
+
+
+@register_forecaster("drift")
+class DriftForecaster(Forecaster):
+    """Extrapolate the window's average slope (the classic drift method)."""
+
+    def fit(self, x, y, x_val=None, y_val=None) -> "DriftForecaster":
+        self._check_xy(x, y)
+        self.fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        self._check_xy(x)
+        hist = np.asarray(x)[:, :, self.target_col]
+        w = hist.shape[1]
+        if w < 2:
+            return np.repeat(hist[:, -1][:, None], self.horizon, axis=1)
+        slope = (hist[:, -1] - hist[:, 0]) / (w - 1)
+        steps = np.arange(1, self.horizon + 1)
+        return hist[:, -1][:, None] + slope[:, None] * steps[None, :]

@@ -1,0 +1,174 @@
+"""Temporal Convolutional Network (Bai, Kolter & Koltun 2018).
+
+The backbone of RPTCN (paper §III-D): a stack of residual blocks, each
+holding two weight-normalized dilated causal convolutions with ReLU and
+spatial dropout (Fig. 6), dilations doubling per level so the receptive
+field grows exponentially with depth: ``RF = 1 + 2 (K - 1) (2^L - 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.container import ModuleList, Sequential
+from ..nn.layers.conv import Conv1d
+from ..nn.layers.dropout import SpatialDropout1d
+from ..nn.layers.linear import Linear
+from ..nn.layers.normalization import WeightNormConv1d
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import NeuralForecaster, register_forecaster
+
+__all__ = ["TemporalBlock", "TCN", "TCNForecaster"]
+
+
+class TemporalBlock(Module):
+    """One TCN residual block (paper Fig. 6).
+
+    Main branch: (weight-norm dilated causal conv → ReLU → spatial
+    dropout) × 2. Shortcut: identity, or a 1×1 convolution when channel
+    counts differ. Output: ``ReLU(x + F(x))`` — the paper's eq. (5).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.conv1 = WeightNormConv1d(
+            in_channels, out_channels, kernel_size, dilation=dilation, rng=rng
+        )
+        self.drop1 = SpatialDropout1d(dropout, rng=rng)
+        self.conv2 = WeightNormConv1d(
+            out_channels, out_channels, kernel_size, dilation=dilation, rng=rng
+        )
+        self.drop2 = SpatialDropout1d(dropout, rng=rng)
+        self.downsample = (
+            Conv1d(in_channels, out_channels, kernel_size=1, rng=rng)
+            if in_channels != out_channels
+            else None
+        )
+        self.dilation = dilation
+        self.kernel_size = kernel_size
+
+    @property
+    def receptive_field(self) -> int:
+        """Span of input steps one output step of this block sees."""
+        return 2 * (self.kernel_size - 1) * self.dilation + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.drop1(self.conv1(x).relu())
+        out = self.drop2(self.conv2(out).relu())
+        res = self.downsample(x) if self.downsample is not None else x
+        return (out + res).relu()
+
+
+class TCN(Module):
+    """Stack of :class:`TemporalBlock` with exponentially growing dilations.
+
+    Maps ``(N, C_in, L)`` to ``(N, channels[-1], L)`` — causal, so the
+    features at step ``t`` summarize inputs up to ``t`` only.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: tuple[int, ...] = (16, 16, 16),
+        kernel_size: int = 3,
+        dropout: float = 0.1,
+        dilations: tuple[int, ...] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if not channels:
+            raise ValueError("channels may not be empty")
+        rng = rng if rng is not None else np.random.default_rng()
+        if dilations is None:
+            dilations = tuple(2**i for i in range(len(channels)))
+        if len(dilations) != len(channels):
+            raise ValueError(
+                f"{len(channels)} levels but {len(dilations)} dilations supplied"
+            )
+        self.blocks = ModuleList(
+            TemporalBlock(
+                in_channels if i == 0 else channels[i - 1],
+                channels[i],
+                kernel_size,
+                dilations[i],
+                dropout=dropout,
+                rng=rng,
+            )
+            for i in range(len(channels))
+        )
+
+    @property
+    def receptive_field(self) -> int:
+        """Total causal receptive field of the stack."""
+        rf = 1
+        for block in self.blocks:
+            rf += block.receptive_field - 1
+        return rf
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+
+class _TCNHead(Module):
+    """Plain TCN forecaster: backbone → last step → linear head."""
+
+    def __init__(
+        self,
+        features: int,
+        horizon: int,
+        channels: tuple[int, ...],
+        kernel_size: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.backbone = TCN(features, channels, kernel_size, dropout, rng=rng)
+        self.head = Linear(channels[-1], horizon, rng=rng)
+        # zero-init the head for a small, stable initial loss (see RPTCN)
+        self.head.weight.data[...] = 0.0
+
+    def forward(self, x: Tensor) -> Tensor:
+        # (N, W, F) -> channels-first (N, F, W)
+        h = self.backbone(x.swapaxes(1, 2))
+        return self.head(h[:, :, -1])
+
+
+@register_forecaster("tcn")
+class TCNForecaster(NeuralForecaster):
+    """Vanilla TCN baseline (RPTCN minus FC layer and attention).
+
+    Used by the ablation benchmarks to isolate the contribution of the two
+    additions the paper makes on top of TCNs.
+    """
+
+    def __init__(
+        self,
+        horizon: int = 1,
+        target_col: int = 0,
+        channels: tuple[int, ...] = (16, 16, 16),
+        kernel_size: int = 3,
+        dropout: float = 0.1,
+        **train_kwargs,
+    ) -> None:
+        train_kwargs.setdefault("lr", 2e-3)  # TCN stacks tolerate a hotter Adam
+        super().__init__(horizon=horizon, target_col=target_col, **train_kwargs)
+        self.channels = tuple(channels)
+        self.kernel_size = kernel_size
+        self.dropout = dropout
+
+    def build(self, window: int, features: int, rng: np.random.Generator) -> Module:
+        return _TCNHead(
+            features, self.horizon, self.channels, self.kernel_size, self.dropout, rng
+        )

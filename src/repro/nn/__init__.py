@@ -1,0 +1,89 @@
+"""A from-scratch NumPy deep-learning framework.
+
+This subpackage replaces the TensorFlow/Keras stack the paper ran on:
+reverse-mode autodiff (:mod:`repro.nn.tensor`), layers
+(:mod:`repro.nn.layers`), losses and optimizers — everything the RPTCN
+architecture and its deep baselines need, with vectorized NumPy kernels.
+"""
+
+from . import functional, init, optim
+from .layers import (
+    ELU,
+    GELU,
+    GRU,
+    LSTM,
+    AvgPool1d,
+    BahdanauAttention,
+    BatchNorm1d,
+    CausalConv1d,
+    Conv1d,
+    Dropout,
+    FeatureAttention,
+    Flatten,
+    GlobalAvgPool1d,
+    GRUCell,
+    Lambda,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    LSTMCell,
+    LuongAttention,
+    MaxPool1d,
+    ModuleList,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    SpatialDropout1d,
+    Tanh,
+    TemporalAttention,
+    WeightNormConv1d,
+)
+from .losses import HuberLoss, MAELoss, MSELoss
+from .module import Module, Parameter
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "functional",
+    "init",
+    "optim",
+    "MSELoss",
+    "MAELoss",
+    "HuberLoss",
+    # layers
+    "Linear",
+    "Conv1d",
+    "CausalConv1d",
+    "WeightNormConv1d",
+    "LayerNorm",
+    "BatchNorm1d",
+    "Dropout",
+    "SpatialDropout1d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "LeakyReLU",
+    "ELU",
+    "GELU",
+    "Sequential",
+    "ModuleList",
+    "Flatten",
+    "Lambda",
+    "MaxPool1d",
+    "AvgPool1d",
+    "GlobalAvgPool1d",
+    "LSTM",
+    "LSTMCell",
+    "GRU",
+    "GRUCell",
+    "FeatureAttention",
+    "TemporalAttention",
+    "BahdanauAttention",
+    "LuongAttention",
+]

@@ -1,0 +1,222 @@
+"""Stateless differentiable operations used by :mod:`repro.nn` layers.
+
+The heavy op here is :func:`conv1d`, implemented with an explicit
+im2col gather (a strided index array) so that the convolution itself is a
+single ``einsum`` contraction, and the input gradient is one
+``np.add.at`` scatter — both whole-array operations with no Python-level
+inner loops, per the HPC vectorization guides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "conv1d",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "spatial_dropout1d",
+    "linear",
+    "max_pool1d",
+    "avg_pool1d",
+]
+
+
+# ---------------------------------------------------------------------------
+# convolution
+# ---------------------------------------------------------------------------
+
+
+def _gather_indices(length: int, kernel_size: int, dilation: int, stride: int) -> np.ndarray:
+    """Index matrix ``idx[k, t] = t * stride + k * dilation`` for im2col."""
+    l_out = (length - (kernel_size - 1) * dilation - 1) // stride + 1
+    if l_out <= 0:
+        raise ValueError(
+            f"conv1d produces empty output: length={length}, "
+            f"kernel={kernel_size}, dilation={dilation}, stride={stride}"
+        )
+    k = np.arange(kernel_size)[:, None] * dilation
+    t = np.arange(l_out)[None, :] * stride
+    return k + t
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int | tuple[int, int] = 0,
+    dilation: int = 1,
+) -> Tensor:
+    """1-D cross-correlation (the deep-learning "convolution").
+
+    Parameters
+    ----------
+    x: ``(N, C_in, L)`` input.
+    weight: ``(C_out, C_in, K)`` filters.
+    bias: optional ``(C_out,)``.
+    padding: symmetric amount, or an explicit ``(left, right)`` pair —
+        causal convolutions pad only on the left.
+    """
+    if isinstance(padding, tuple):
+        pad_l, pad_r = padding
+    else:
+        pad_l = pad_r = int(padding)
+
+    n, c_in, length = x.shape
+    c_out, c_in_w, k = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+
+    xp = x.data
+    if pad_l or pad_r:
+        xp = np.pad(xp, ((0, 0), (0, 0), (pad_l, pad_r)))
+    idx = _gather_indices(xp.shape[-1], k, dilation, stride)
+    cols = xp[:, :, idx]  # (N, C_in, K, L_out)
+    out = np.einsum("oik,nikt->not", weight.data, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data[None, :, None]
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(np.einsum("not,nikt->oik", grad, cols, optimize=True))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if x.requires_grad:
+            gcols = np.einsum("oik,not->nikt", weight.data, grad, optimize=True)
+            gxp = np.zeros((n, c_in, length + pad_l + pad_r))
+            np.add.at(gxp, (slice(None), slice(None), idx), gcols)
+            if pad_l or pad_r:
+                gxp = gxp[:, :, pad_l : pad_l + length]
+            x._accumulate(gxp)
+
+    return Tensor._from_op(out, parents, backward)
+
+
+# ---------------------------------------------------------------------------
+# pooling
+# ---------------------------------------------------------------------------
+
+
+def max_pool1d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling over the last axis of a ``(N, C, L)`` tensor."""
+    stride = stride or kernel_size
+    idx = _gather_indices(x.shape[-1], kernel_size, 1, stride)
+    windows = x.data[:, :, idx]  # (N, C, K, L_out)
+    out = windows.max(axis=2)
+    argmax = windows.argmax(axis=2)  # (N, C, L_out)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gx = np.zeros_like(x.data)
+        n, c, l_out = grad.shape
+        src_pos = idx[argmax, np.arange(l_out)[None, None, :]]  # (N, C, L_out)
+        ni = np.arange(n)[:, None, None]
+        ci = np.arange(c)[None, :, None]
+        np.add.at(gx, (ni, ci, src_pos), grad)
+        x._accumulate(gx)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def avg_pool1d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Average pooling over the last axis of a ``(N, C, L)`` tensor."""
+    stride = stride or kernel_size
+    idx = _gather_indices(x.shape[-1], kernel_size, 1, stride)
+    out = x.data[:, :, idx].mean(axis=2)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gx = np.zeros_like(x.data)
+        g = np.repeat(grad[:, :, None, :] / kernel_size, kernel_size, axis=2)
+        np.add.at(gx, (slice(None), slice(None), idx), g)
+        x._accumulate(gx)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# normalized exponentials
+# ---------------------------------------------------------------------------
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # J^T g = s * (g - sum(g * s))
+            dot = (grad * out).sum(axis=axis, keepdims=True)
+            x._accumulate(out * (grad - dot))
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) computed stably."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    soft = np.exp(out)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# dropout
+# ---------------------------------------------------------------------------
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scale kept activations by ``1/(1-p)`` at train time."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def spatial_dropout1d(
+    x: Tensor, p: float, rng: np.random.Generator, training: bool = True
+) -> Tensor:
+    """Channel dropout for ``(N, C, L)`` tensors (drops whole feature maps).
+
+    TCN residual blocks use this form of regularization (Bai et al. 2018);
+    zeroing entire channels preserves temporal autocorrelation within each
+    retained channel.
+    """
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    n, c = x.shape[0], x.shape[1]
+    mask = (rng.random((n, c, 1)) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# ---------------------------------------------------------------------------
+# affine
+# ---------------------------------------------------------------------------
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ weight.T + bias`` — the paper's eq. (6)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out

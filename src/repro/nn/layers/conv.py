@@ -1,0 +1,110 @@
+"""1-D convolutions, including the causal dilated form used by TCNs.
+
+The paper's eq. (3) (causal convolution) and eq. (4) (dilated convolution)
+are realized by :class:`CausalConv1d`: left-only zero padding of
+``(K - 1) * d`` keeps the output aligned with the input so that position
+``t`` of the output depends only on inputs ``<= t`` — "future information
+does not leak into the past".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["Conv1d", "CausalConv1d"]
+
+
+class Conv1d(Module):
+    """Standard 1-D convolution over ``(N, C, L)`` inputs.
+
+    Weight layout is ``(out_channels, in_channels, kernel_size)``; He-uniform
+    init suits the ReLU nonlinearities used throughout the TCN stack.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | tuple[int, int] = 0,
+        dilation: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError(f"kernel_size must be >= 1, got {kernel_size}")
+        if dilation < 1:
+            raise ValueError(f"dilation must be >= 1, got {dilation}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        self.weight = Parameter(init.he_uniform((out_channels, in_channels, kernel_size), rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    @property
+    def receptive_field(self) -> int:
+        """Paper: ``(K - 1) * d + 1``."""
+        return (self.kernel_size - 1) * self.dilation + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            dilation=self.dilation,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"stride={self.stride}, pad={self.padding}, dilation={self.dilation})"
+        )
+
+
+class CausalConv1d(Conv1d):
+    """Dilated causal convolution: output length equals input length.
+
+    Pads ``(kernel_size - 1) * dilation`` zeros on the left only, so the
+    value at output step ``t`` is a function of input steps ``t, t-d, ...,
+    t-(K-1)d`` exactly as in the paper's eq. (4).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        left_pad = (kernel_size - 1) * dilation
+        super().__init__(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=1,
+            padding=(left_pad, 0),
+            dilation=dilation,
+            bias=bias,
+            rng=rng,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CausalConv1d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, dilation={self.dilation})"
+        )

@@ -1,0 +1,50 @@
+"""Dropout regularization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Dropout", "SpatialDropout1d"]
+
+
+class Dropout(Module):
+    """Inverted elementwise dropout (identity in eval mode)."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Dropout(p={self.p})"
+
+
+class SpatialDropout1d(Module):
+    """Whole-channel dropout for ``(N, C, L)`` feature maps.
+
+    This is the regularizer inside TCN residual blocks (paper Fig. 6):
+    dropping entire channels avoids destroying the within-channel temporal
+    structure that the dilated convolutions rely on.
+    """
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.spatial_dropout1d(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SpatialDropout1d(p={self.p})"

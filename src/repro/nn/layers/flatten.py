@@ -1,0 +1,39 @@
+"""Shape-adapter layers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Flatten", "Lambda"]
+
+
+class Flatten(Module):
+    """Flatten all axes from ``start_axis`` onward (batch axis kept)."""
+
+    def __init__(self, start_axis: int = 1) -> None:
+        super().__init__()
+        self.start_axis = start_axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_from(self.start_axis)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Flatten(start_axis={self.start_axis})"
+
+
+class Lambda(Module):
+    """Wrap an arbitrary Tensor -> Tensor function as a (parameter-free) layer."""
+
+    def __init__(self, fn: Callable[[Tensor], Tensor], name: str = "") -> None:
+        super().__init__()
+        self.fn = fn
+        self.fn_name = name or getattr(fn, "__name__", "lambda")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fn(x)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Lambda({self.fn_name})"

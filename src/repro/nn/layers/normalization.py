@@ -1,0 +1,130 @@
+"""Normalization layers: weight-normalized convolution, LayerNorm, BatchNorm.
+
+TCN residual blocks (paper Fig. 6) wrap each dilated causal convolution in
+*weight normalization* (Salimans & Kingma 2016): the weight is
+reparameterized as ``w = g * v / ||v||`` with the norm taken per output
+filter. The reparameterization is expressed entirely in autograd ops, so
+gradients flow to ``g`` and ``v`` without bespoke backward code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["WeightNormConv1d", "LayerNorm", "BatchNorm1d"]
+
+_EPS = 1e-12
+
+
+class WeightNormConv1d(Module):
+    """Causal dilated Conv1d with weight normalization.
+
+    ``g`` is initialized to the norm of the initial ``v`` so that at
+    initialization the layer behaves exactly like the unnormalized conv.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        causal: bool = True,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.causal = causal
+        v0 = init.he_uniform((out_channels, in_channels, kernel_size), rng)
+        self.v = Parameter(v0)
+        self.g = Parameter(np.sqrt((v0**2).sum(axis=(1, 2), keepdims=True)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def _weight(self) -> Tensor:
+        norm = (self.v * self.v).sum(axis=(1, 2), keepdims=True).sqrt() + _EPS
+        return self.v * (self.g / norm)
+
+    def forward(self, x: Tensor) -> Tensor:
+        pad = ((self.kernel_size - 1) * self.dilation, 0) if self.causal else 0
+        return F.conv1d(
+            x, self._weight(), self.bias, stride=1, padding=pad, dilation=self.dilation
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"WeightNormConv1d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, dilation={self.dilation}, causal={self.causal})"
+        )
+
+
+class LayerNorm(Module):
+    """Normalize over the last axis with learnable scale/shift."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.normalized_shape = normalized_shape
+        self.gamma = Parameter(init.ones((normalized_shape,)))
+        self.beta = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normed = (x - mu) / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over ``(N, C)`` or ``(N, C, L)`` inputs.
+
+    Keeps exponential running statistics for eval-mode normalization.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 2:
+            axes: tuple[int, ...] = (0,)
+            view = (1, self.num_features)
+        elif x.ndim == 3:
+            axes = (0, 2)
+            view = (1, self.num_features, 1)
+        else:
+            raise ValueError(f"BatchNorm1d expects 2-D or 3-D input, got shape {x.shape}")
+
+        if self.training:
+            mu = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            m = self.momentum
+            self.running_mean = (1 - m) * self.running_mean + m * mu.data.reshape(-1)
+            self.running_var = (1 - m) * self.running_var + m * var.data.reshape(-1)
+        else:
+            mu = Tensor(self.running_mean.reshape(view))
+            var = Tensor(self.running_var.reshape(view))
+
+        normed = (x - mu) / (var + self.eps).sqrt()
+        return normed * self.gamma.reshape(view) + self.beta.reshape(view)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BatchNorm1d({self.num_features})"

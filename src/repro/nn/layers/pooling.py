@@ -1,0 +1,45 @@
+"""Pooling layers over the temporal axis of ``(N, C, L)`` tensors."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["MaxPool1d", "AvgPool1d", "GlobalAvgPool1d"]
+
+
+class MaxPool1d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool1d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MaxPool1d(k={self.kernel_size}, stride={self.stride})"
+
+
+class AvgPool1d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool1d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AvgPool1d(k={self.kernel_size}, stride={self.stride})"
+
+
+class GlobalAvgPool1d(Module):
+    """Mean over the temporal axis: ``(N, C, L) -> (N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "GlobalAvgPool1d()"

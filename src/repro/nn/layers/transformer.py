@@ -1,0 +1,116 @@
+"""Transformer building blocks: multi-head self-attention and encoder block.
+
+A post-TCN extension point: the paper positions TCNs against RNNs; the
+natural 2020s follow-up question is "would self-attention do better?".
+These layers make that ablation runnable on the same autograd stack.
+
+The attention here is *causal* (upper-triangular masking) so the
+forecaster family stays leak-free, like the dilated causal convolutions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+from .dropout import Dropout
+from .linear import Linear
+from .normalization import LayerNorm
+
+__all__ = ["MultiHeadSelfAttention", "TransformerEncoderBlock", "positional_encoding"]
+
+
+def positional_encoding(length: int, dim: int) -> np.ndarray:
+    """Sinusoidal positions (Vaswani et al. 2017), shape ``(length, dim)``."""
+    if length < 1 or dim < 1:
+        raise ValueError(f"length and dim must be >= 1, got {length}, {dim}")
+    pos = np.arange(length)[:, None]
+    i = np.arange(dim)[None, :]
+    angle = pos / np.power(10000.0, (2 * (i // 2)) / dim)
+    enc = np.empty((length, dim))
+    enc[:, 0::2] = np.sin(angle[:, 0::2])
+    enc[:, 1::2] = np.cos(angle[:, 1::2])
+    return enc
+
+
+class MultiHeadSelfAttention(Module):
+    """Causal multi-head self-attention over ``(N, T, D)`` sequences."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int = 4,
+        causal: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        self.wq = Linear(dim, dim, rng=rng)
+        self.wk = Linear(dim, dim, rng=rng)
+        self.wv = Linear(dim, dim, rng=rng)
+        self.wo = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, n: int, t: int) -> Tensor:
+        # (N, T, D) -> (N, H, T, Dh)
+        return x.reshape(n, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, _ = x.shape
+        q = self._split_heads(self.wq(x), n, t)
+        k = self._split_heads(self.wk(x), n, t)
+        v = self._split_heads(self.wv(x), n, t)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if self.causal:
+            mask = np.triu(np.full((t, t), -1e9), k=1)
+            scores = scores + Tensor(mask)
+        attn = F.softmax(scores, axis=-1)  # (N, H, T, T)
+        context = attn @ v  # (N, H, T, Dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(n, t, self.dim)
+        return self.wo(merged)
+
+    def attention_map(self, x: Tensor) -> np.ndarray:
+        """Detached ``(N, H, T, T)`` attention weights for inspection."""
+        n, t, _ = x.shape
+        q = self._split_heads(self.wq(x), n, t)
+        k = self._split_heads(self.wk(x), n, t)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if self.causal:
+            scores = scores + Tensor(np.triu(np.full((t, t), -1e9), k=1))
+        return F.softmax(scores, axis=-1).data
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-norm encoder block: MHA + residual, FFN + residual."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int = 4,
+        ffn_dim: int | None = None,
+        dropout: float = 0.1,
+        causal: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        ffn_dim = ffn_dim or 4 * dim
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, n_heads, causal=causal, rng=rng)
+        self.drop1 = Dropout(dropout, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn1 = Linear(dim, ffn_dim, rng=rng)
+        self.ffn2 = Linear(ffn_dim, dim, rng=rng)
+        self.drop2 = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.drop1(self.attn(self.norm1(x)))
+        return x + self.drop2(self.ffn2(self.ffn1(self.norm2(x)).relu()))

@@ -1,0 +1,137 @@
+"""Module / Parameter machinery (a compact analogue of ``torch.nn.Module``).
+
+Modules register parameters and sub-modules automatically through
+``__setattr__`` so that :meth:`Module.parameters`, :meth:`Module.state_dict`
+and train/eval mode switching walk the whole tree.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A Tensor that is a learnable leaf of a module tree."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+        # Parameters must stay differentiable even when constructed inside
+        # a no_grad() block (e.g. lazily-built layers during inference).
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for all neural-network layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- registration -------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        setattr(self, name, module)
+
+    # -- traversal -----------------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every learnable parameter in the subtree (depth-first)."""
+        seen: set[int] = set()
+        for _, p in self.named_parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar learnable weights."""
+        return sum(p.size for p in self.parameters())
+
+    # -- mode ------------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradients ---------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # -- serialization -------------------------------------------------------------
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        return OrderedDict((name, p.data.copy()) for name, p in self.named_parameters())
+
+    def load_state_dict(self, state: dict) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: have {p.data.shape}, got {value.shape}"
+                )
+            p.data[...] = value
+
+    def save(self, path) -> None:
+        """Persist parameters with ``np.savez`` (keys are dotted names)."""
+        np.savez(path, **{k: v for k, v in self.state_dict().items()})
+
+    def load(self, path) -> None:
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+    # -- call protocol ------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        child_lines = [f"  ({name}): {module!r}" for name, module in self._modules.items()]
+        body = "\n".join(child_lines)
+        header = self.__class__.__name__
+        return f"{header}(\n{body}\n)" if body else f"{header}()"

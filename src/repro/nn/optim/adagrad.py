@@ -1,0 +1,28 @@
+"""Adagrad optimizer (Duchi et al. 2011)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..module import Parameter
+from .base import Optimizer
+
+__all__ = ["Adagrad"]
+
+
+class Adagrad(Optimizer):
+    def __init__(
+        self, params: Iterable[Parameter], lr: float = 1e-2, eps: float = 1e-10
+    ) -> None:
+        super().__init__(params, lr)
+        self.eps = eps
+        self._acc = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, acc in zip(self.params, self._acc):
+            if p.grad is None:
+                continue
+            acc += p.grad**2
+            p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)

@@ -1,0 +1,32 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Holds a parameter list and applies in-place updates.
+
+    Updates mutate ``param.data`` in place (no reallocation per step),
+    following the guide's in-place-operation idiom.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,39 @@
+"""Gradient clipping utilities (used for recurrent baselines)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..module import Parameter
+
+__all__ = ["clip_grad_norm", "clip_grad_value"]
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their joint L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging training dynamics).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float((g**2).sum()) for g in grads))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total
+
+
+def clip_grad_value(params: Iterable[Parameter], clip_value: float) -> None:
+    """Clamp each gradient element into ``[-clip_value, clip_value]``."""
+    if clip_value <= 0:
+        raise ValueError(f"clip_value must be positive, got {clip_value}")
+    for p in params:
+        if p.grad is not None:
+            np.clip(p.grad, -clip_value, clip_value, out=p.grad)

@@ -1,0 +1,46 @@
+"""RMSprop optimizer (Tieleman & Hinton 2012)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..module import Parameter
+from .base import Optimizer
+
+__all__ = ["RMSprop"]
+
+
+class RMSprop(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self.eps = eps
+        self.momentum = momentum
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+        self._buf = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            sq = self._sq[i]
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * p.grad**2
+            update = p.grad / (np.sqrt(sq) + self.eps)
+            if self._buf is not None:
+                buf = self._buf[i]
+                buf *= self.momentum
+                buf += update
+                update = buf
+            p.data -= self.lr * update

@@ -1,0 +1,96 @@
+"""Learning-rate schedulers operating on an :class:`Optimizer`'s ``lr``."""
+
+from __future__ import annotations
+
+import math
+
+from .base import Optimizer
+
+__all__ = ["StepLR", "ExponentialLR", "CosineAnnealingLR", "ReduceLROnPlateau"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR(_Scheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ExponentialLR(_Scheduler):
+    """lr = base_lr * gamma^epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma**self.epoch
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from base_lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def step(self) -> None:
+        self.epoch = min(self.epoch + 1, self.t_max)
+        cos = (1.0 + math.cos(math.pi * self.epoch / self.t_max)) / 2.0
+        self.optimizer.lr = self.eta_min + (self.base_lr - self.eta_min) * cos
+
+
+class ReduceLROnPlateau(_Scheduler):
+    """Shrink lr by ``factor`` when a monitored metric stops improving."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 5,
+        min_lr: float = 1e-6,
+        threshold: float = 1e-4,
+    ) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self.best = math.inf
+        self.bad_epochs = 0
+
+    def step(self, metric: float) -> None:
+        self.epoch += 1
+        if metric < self.best - self.threshold:
+            self.best = metric
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+            if self.bad_epochs > self.patience:
+                self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+                self.bad_epochs = 0

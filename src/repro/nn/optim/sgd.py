@@ -1,0 +1,47 @@
+"""Stochastic gradient descent with optional momentum / Nesterov / weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..module import Parameter
+from .base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                update = g + self.momentum * v if self.nesterov else v
+            else:
+                update = g
+            p.data -= self.lr * update

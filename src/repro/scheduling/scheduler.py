@@ -1,0 +1,144 @@
+"""Packing policies: how much capacity to account per job when placing it.
+
+All schedulers share a first-fit-decreasing core and differ only in the
+*footprint* they charge a job against a machine:
+
+* request-based — the job's full request (no overcommit; what YARN-style
+  reservation scheduling does);
+* predictive — a forecast of the job's usage (e.g. from any
+  :class:`repro.models` forecaster trained on the job's early profile)
+  plus a safety margin;
+* oracle — the job's true peak usage plus margin (the packing lower
+  bound at matched safety).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from .jobs import Job
+
+__all__ = [
+    "Scheduler",
+    "FirstFitScheduler",
+    "RequestPackingScheduler",
+    "PredictivePackingScheduler",
+    "OraclePackingScheduler",
+]
+
+
+class Scheduler(abc.ABC):
+    """Assign jobs to machines of unit capacity."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def footprint(self, job: Job) -> float:
+        """Capacity charged for ``job`` during placement, in (0, 1]."""
+
+    def place(self, jobs: list[Job], capacity: float = 1.0) -> dict[str, int]:
+        """First-fit-decreasing placement; returns job_id → machine index.
+
+        Machines are opened on demand (the metric of interest is how many
+        a policy needs), each with ``capacity`` normalized cores.
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        footprints = {}
+        for job in jobs:
+            fp = float(self.footprint(job))
+            if not 0.0 < fp <= capacity + 1e-12:
+                fp = min(max(fp, 1e-6), capacity)
+            footprints[job.job_id] = fp
+
+        order = sorted(jobs, key=lambda j: footprints[j.job_id], reverse=True)
+        machines: list[float] = []  # remaining capacity per machine
+        assignment: dict[str, int] = {}
+        for job in order:
+            fp = footprints[job.job_id]
+            for mi, remaining in enumerate(machines):
+                if remaining >= fp - 1e-12:
+                    machines[mi] = remaining - fp
+                    assignment[job.job_id] = mi
+                    break
+            else:
+                machines.append(capacity - fp)
+                assignment[job.job_id] = len(machines) - 1
+        return assignment
+
+
+class FirstFitScheduler(Scheduler):
+    """Generic scheduler around an arbitrary footprint function."""
+
+    def __init__(self, footprint_fn: Callable[[Job], float], name: str = "custom") -> None:
+        self._fn = footprint_fn
+        self.name = name
+
+    def footprint(self, job: Job) -> float:
+        return self._fn(job)
+
+
+class RequestPackingScheduler(Scheduler):
+    """Reserve the full request — no overcommit, maximal machine count."""
+
+    name = "request"
+
+    def footprint(self, job: Job) -> float:
+        return job.request
+
+
+class PredictivePackingScheduler(Scheduler):
+    """Pack by predicted usage plus a safety margin.
+
+    ``predictor`` maps a job's early usage profile (its first
+    ``probe_len`` steps — the "collect its initial logs" idea of Yu et
+    al. [37] that the paper discusses) to a predicted peak for the rest
+    of the run. The default predictor extrapolates the probe's high
+    quantile, but any fitted forecaster can be plugged in via
+    ``predict_fn``.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        probe_len: int = 50,
+        margin: float = 0.1,
+        quantile: float = 0.95,
+        predict_fn: Callable[[np.ndarray], float] | None = None,
+    ) -> None:
+        if probe_len < 1:
+            raise ValueError(f"probe_len must be >= 1, got {probe_len}")
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        self.probe_len = probe_len
+        self.margin = margin
+        self.quantile = quantile
+        self.predict_fn = predict_fn
+
+    def footprint(self, job: Job) -> float:
+        probe = job.usage[: self.probe_len]
+        if self.predict_fn is not None:
+            predicted = float(self.predict_fn(probe))
+        else:
+            predicted = float(np.quantile(probe, self.quantile))
+        return float(np.clip(predicted + self.margin, 1e-6, 1.0))
+
+
+class OraclePackingScheduler(Scheduler):
+    """Pack by the job's true lifetime peak plus margin (lower bound)."""
+
+    name = "oracle"
+
+    def __init__(self, margin: float = 0.1) -> None:
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        self.margin = margin
+
+    def footprint(self, job: Job) -> float:
+        return float(np.clip(job.peak_usage + self.margin, 1e-6, 1.0))

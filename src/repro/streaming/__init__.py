@@ -1,0 +1,21 @@
+"""Online (real-time) resource prediction.
+
+The paper's §V-C closes with applying the model "to the real-time
+resource usage prediction". This subpackage provides that serving layer:
+a ring buffer over incoming monitoring records, concept-drift detection
+(Page-Hinkley), and an :class:`OnlinePredictor` that serves one-step
+predictions while refitting its forecaster periodically or on drift,
+scoring itself prequentially (test-then-train).
+"""
+
+from .buffer import RollingBuffer
+from .drift import DriftDetector, PageHinkley
+from .online import OnlinePredictor, PredictionRecord
+
+__all__ = [
+    "RollingBuffer",
+    "PageHinkley",
+    "DriftDetector",
+    "OnlinePredictor",
+    "PredictionRecord",
+]

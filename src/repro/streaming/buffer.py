@@ -1,0 +1,60 @@
+"""Fixed-capacity ring buffer over multivariate monitoring records."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RollingBuffer"]
+
+
+class RollingBuffer:
+    """Ring buffer of ``(features,)`` records with O(1) append.
+
+    Backed by a preallocated ``(capacity, features)`` array; ``view()``
+    materializes the chronologically ordered contents (one copy — the
+    price of presenting a contiguous array to the window builders).
+    """
+
+    def __init__(self, capacity: int, features: int) -> None:
+        if capacity < 1 or features < 1:
+            raise ValueError(f"capacity and features must be >= 1, got {capacity}, {features}")
+        self.capacity = capacity
+        self.features = features
+        self._data = np.empty((capacity, features))
+        self._head = 0  # next write position
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self.capacity
+
+    def append(self, record: np.ndarray) -> None:
+        record = np.asarray(record, float)
+        if record.shape != (self.features,):
+            raise ValueError(f"expected shape ({self.features},), got {record.shape}")
+        self._data[self._head] = record
+        self._head = (self._head + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def extend(self, records: np.ndarray) -> None:
+        for row in np.asarray(records, float):
+            self.append(row)
+
+    def view(self) -> np.ndarray:
+        """Chronologically ordered contents, oldest first (copy)."""
+        if self._size < self.capacity:
+            return self._data[: self._size].copy()
+        return np.roll(self._data, -self._head, axis=0).copy()
+
+    def last(self, n: int) -> np.ndarray:
+        """The most recent ``n`` records, oldest first."""
+        if n < 1 or n > self._size:
+            raise ValueError(f"n must be in [1, {self._size}], got {n}")
+        return self.view()[-n:]
+
+    def clear(self) -> None:
+        self._head = 0
+        self._size = 0

@@ -1,0 +1,176 @@
+"""Online prediction service: buffer -> predict -> score -> (re)fit.
+
+Prequential protocol: for each arriving record the predictor first emits
+a forecast for it from the previous state (test), then absorbs the record
+(train). Refits happen every ``refit_interval`` records and whenever the
+Page-Hinkley detector fires on the absolute-error stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..models.base import Forecaster, create_forecaster
+from .buffer import RollingBuffer
+from .drift import DriftDetector, PageHinkley
+
+__all__ = ["PredictionRecord", "OnlinePredictor"]
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One prequential step's outcome."""
+
+    step: int
+    prediction: float | None  # None while warming up
+    actual: float
+    error: float | None
+    refit: bool
+    drift: bool
+
+
+@dataclass
+class _OnlineStats:
+    n_predictions: int = 0
+    sum_abs_error: float = 0.0
+    sum_sq_error: float = 0.0
+    n_refits: int = 0
+    n_drifts: int = 0
+    errors: list[float] = field(default_factory=list)
+
+    @property
+    def mae(self) -> float:
+        return self.sum_abs_error / max(self.n_predictions, 1)
+
+    @property
+    def mse(self) -> float:
+        return self.sum_sq_error / max(self.n_predictions, 1)
+
+
+class OnlinePredictor:
+    """Serve one-step-ahead predictions over a live indicator stream.
+
+    Parameters
+    ----------
+    forecaster_name, forecaster_kwargs:
+        Registered forecaster refitted on the buffer contents. Cheap
+        refittable models (``xgboost``, ``holt``, ``arima``) suit the
+        online setting; deep models work but pay seconds per refit.
+    window:
+        Input window length fed to the forecaster.
+    buffer_capacity:
+        History kept for refits.
+    refit_interval:
+        Scheduled refit period (in records); drift can trigger earlier.
+    target_col:
+        Which feature column is the prediction target.
+    detector:
+        Drift detector over absolute errors (default Page-Hinkley).
+    """
+
+    def __init__(
+        self,
+        forecaster_name: str = "xgboost",
+        forecaster_kwargs: dict[str, Any] | None = None,
+        window: int = 12,
+        buffer_capacity: int = 600,
+        refit_interval: int = 100,
+        min_fit_size: int | None = None,
+        target_col: int = 0,
+        features: int = 1,
+        detector: DriftDetector | None = None,
+    ) -> None:
+        if buffer_capacity < window + 2:
+            raise ValueError(
+                f"buffer_capacity ({buffer_capacity}) must exceed window+1 ({window + 1})"
+            )
+        if refit_interval < 1:
+            raise ValueError(f"refit_interval must be >= 1, got {refit_interval}")
+        self.forecaster_name = forecaster_name
+        self.forecaster_kwargs = dict(forecaster_kwargs or {})
+        self.forecaster_kwargs.setdefault("target_col", target_col)
+        self.window = window
+        self.refit_interval = refit_interval
+        self.min_fit_size = min_fit_size if min_fit_size is not None else 3 * window
+        self.target_col = target_col
+        self.buffer = RollingBuffer(buffer_capacity, features)
+        self.detector = detector if detector is not None else PageHinkley()
+        self.model: Forecaster | None = None
+        self.stats = _OnlineStats()
+        self._step = 0
+        self._since_refit = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _windows_from_buffer(self) -> tuple[np.ndarray, np.ndarray]:
+        from ..data.windowing import make_windows
+
+        data = self.buffer.view()
+        return make_windows(data, data[:, self.target_col], self.window, horizon=1)
+
+    def _refit(self) -> None:
+        x, y = self._windows_from_buffer()
+        self.model = create_forecaster(self.forecaster_name, **self.forecaster_kwargs)
+        self.model.fit(x, y)
+        self.stats.n_refits += 1
+        self._since_refit = 0
+
+    def _predict_next(self) -> float | None:
+        if self.model is None or len(self.buffer) < self.window:
+            return None
+        hist = self.buffer.last(self.window)[None, :, :]
+        return float(self.model.predict(hist)[0, 0])
+
+    # -- API -------------------------------------------------------------------
+
+    def process(self, record: np.ndarray) -> PredictionRecord:
+        """Prequential step: predict ``record``'s target, then absorb it."""
+        record = np.atleast_1d(np.asarray(record, float))
+        actual = float(record[self.target_col])
+
+        prediction = self._predict_next()
+        error = None
+        drift = False
+        if prediction is not None:
+            error = abs(prediction - actual)
+            self.stats.n_predictions += 1
+            self.stats.sum_abs_error += error
+            self.stats.sum_sq_error += error**2
+            self.stats.errors.append(error)
+            drift = self.detector.update(error)
+            if drift:
+                self.stats.n_drifts += 1
+
+        self.buffer.append(record)
+        self._step += 1
+        self._since_refit += 1
+
+        needs_fit = self.model is None and len(self.buffer) >= max(
+            self.min_fit_size, self.window + 2
+        )
+        scheduled = self.model is not None and self._since_refit >= self.refit_interval
+        refit = False
+        if needs_fit or scheduled or (drift and len(self.buffer) >= self.min_fit_size):
+            self._refit()
+            if drift:
+                self.detector.reset()
+            refit = True
+
+        return PredictionRecord(
+            step=self._step - 1,
+            prediction=prediction,
+            actual=actual,
+            error=error,
+            refit=refit,
+            drift=drift,
+        )
+
+    def run(self, records: np.ndarray) -> list[PredictionRecord]:
+        """Process a batch of records sequentially (replay a trace)."""
+        records = np.asarray(records, float)
+        if records.ndim == 1:
+            records = records[:, None]
+        return [self.process(row) for row in records]

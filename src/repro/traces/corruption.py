@@ -1,0 +1,78 @@
+"""Trace corruption — the imperfections Algorithm 1's DataClean step removes.
+
+"Generally, the dataset is partially incomplete or has outliers due to
+network anomalies, system interruption etc." (paper §III-A). This module
+injects exactly those defects into a clean synthetic trace so the cleaning
+stage is exercised end-to-end:
+
+* missing fields (NaN cells) from dropped monitoring samples,
+* whole missing records (NaN rows) from agent restarts,
+* impulse outliers from counter glitches,
+* duplicated timestamps from at-least-once log delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .schema import ClusterTrace, EntityTrace
+
+__all__ = ["CorruptionConfig", "corrupt_entity", "corrupt_trace"]
+
+
+@dataclass(frozen=True)
+class CorruptionConfig:
+    missing_cell_rate: float = 0.01
+    missing_row_rate: float = 0.005
+    outlier_rate: float = 0.003
+    outlier_scale: float = 4.0
+    duplicate_rate: float = 0.002
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        for name in ("missing_cell_rate", "missing_row_rate", "outlier_rate", "duplicate_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {v}")
+        if self.outlier_scale <= 1.0:
+            raise ValueError("outlier_scale must exceed 1")
+
+
+def corrupt_entity(
+    entity: EntityTrace, config: CorruptionConfig, rng: np.random.Generator
+) -> EntityTrace:
+    """Return a corrupted copy of one entity's log."""
+    values = entity.values.copy()
+    ts = entity.timestamps.copy()
+    t, k = values.shape
+
+    # impulse outliers first, so they can also be hidden by later NaNs
+    outliers = rng.random((t, k)) < config.outlier_rate
+    values[outliers] *= config.outlier_scale * rng.uniform(0.5, 1.5, outliers.sum())
+
+    values[rng.random((t, k)) < config.missing_cell_rate] = np.nan
+    values[rng.random(t) < config.missing_row_rate, :] = np.nan
+
+    # duplicated timestamps: repeat a few records in place
+    dup_idx = np.flatnonzero(rng.random(t - 1) < config.duplicate_rate)
+    if dup_idx.size:
+        insert_rows = values[dup_idx]
+        insert_ts = ts[dup_idx]
+        values = np.insert(values, dup_idx + 1, insert_rows, axis=0)
+        ts = np.insert(ts, dup_idx + 1, insert_ts)
+
+    return replace(entity, timestamps=ts, values=values)
+
+
+def corrupt_trace(trace: ClusterTrace, config: CorruptionConfig | None = None) -> ClusterTrace:
+    """Corrupt every entity of a trace (deterministic given ``config.seed``)."""
+    config = config or CorruptionConfig()
+    rng = np.random.default_rng(config.seed)
+    return ClusterTrace(
+        machines=[corrupt_entity(m, config, rng) for m in trace.machines],
+        containers=[corrupt_entity(c, config, rng) for c in trace.containers],
+        interval_seconds=trace.interval_seconds,
+        seed=trace.seed,
+    )

@@ -1,0 +1,131 @@
+"""CSV (de)serialization in the Alibaba v2018 column layout.
+
+The public trace ships as headerless CSVs (``machine_usage.csv``,
+``container_usage.csv``); we write an explicit header for robustness but
+accept both headered and headerless files on read.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from .schema import (
+    CONTAINER_COLUMNS,
+    INDICATORS,
+    MACHINE_COLUMNS,
+    ClusterTrace,
+    EntityTrace,
+)
+
+__all__ = ["write_trace_csv", "read_trace_csv"]
+
+
+def _format(value: float) -> str:
+    return "" if np.isnan(value) else f"{value:.6g}"
+
+
+def _parse(text: str) -> float:
+    return np.nan if text == "" else float(text)
+
+
+def write_trace_csv(trace: ClusterTrace, directory: str | Path) -> tuple[Path, Path]:
+    """Write ``machine_usage.csv`` and ``container_usage.csv`` under ``directory``.
+
+    Returns the two file paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    machine_path = directory / "machine_usage.csv"
+    container_path = directory / "container_usage.csv"
+
+    with machine_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(MACHINE_COLUMNS)
+        for m in trace.machines:
+            for ts, row in zip(m.timestamps, m.values):
+                writer.writerow([m.entity_id, int(ts), *[_format(v) for v in row]])
+
+    with container_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(CONTAINER_COLUMNS)
+        for c in trace.containers:
+            for ts, row in zip(c.timestamps, c.values):
+                writer.writerow(
+                    [c.entity_id, c.machine_id or "", int(ts), *[_format(v) for v in row]]
+                )
+
+    return machine_path, container_path
+
+
+def _read_rows(path: Path, expected_cols: tuple[str, ...]):
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        first = next(reader, None)
+        if first is None:
+            return
+        if first != list(expected_cols):  # headerless v2018-style file
+            yield first
+        yield from reader
+
+
+def read_trace_csv(
+    directory: str | Path, interval_seconds: int = 10
+) -> ClusterTrace:
+    """Load a trace previously written by :func:`write_trace_csv`.
+
+    Rows are grouped by entity id and sorted by timestamp; missing fields
+    become NaN (the cleaning stage deals with them downstream).
+    """
+    directory = Path(directory)
+    n_ind = len(INDICATORS)
+
+    machines: list[EntityTrace] = []
+    machine_path = directory / "machine_usage.csv"
+    if machine_path.exists():
+        grouped: dict[str, list[tuple[int, list[float]]]] = defaultdict(list)
+        for row in _read_rows(machine_path, MACHINE_COLUMNS):
+            if len(row) != 2 + n_ind:
+                raise ValueError(f"malformed machine row of width {len(row)} in {machine_path}")
+            grouped[row[0]].append((int(row[1]), [_parse(v) for v in row[2:]]))
+        for mid, records in grouped.items():
+            records.sort(key=lambda r: r[0])
+            machines.append(
+                EntityTrace(
+                    entity_id=mid,
+                    kind="machine",
+                    timestamps=np.array([r[0] for r in records]),
+                    values=np.array([r[1] for r in records]),
+                )
+            )
+
+    containers: list[EntityTrace] = []
+    container_path = directory / "container_usage.csv"
+    if container_path.exists():
+        cgrouped: dict[str, list[tuple[str, int, list[float]]]] = defaultdict(list)
+        for row in _read_rows(container_path, CONTAINER_COLUMNS):
+            if len(row) != 3 + n_ind:
+                raise ValueError(
+                    f"malformed container row of width {len(row)} in {container_path}"
+                )
+            cgrouped[row[0]].append((row[1], int(row[2]), [_parse(v) for v in row[3:]]))
+        for cid, crecords in cgrouped.items():
+            crecords.sort(key=lambda r: r[1])
+            containers.append(
+                EntityTrace(
+                    entity_id=cid,
+                    kind="container",
+                    timestamps=np.array([r[1] for r in crecords]),
+                    values=np.array([r[2] for r in crecords]),
+                    machine_id=crecords[0][0] or None,
+                )
+            )
+
+    machines.sort(key=lambda e: e.entity_id)
+    containers.sort(key=lambda e: e.entity_id)
+    return ClusterTrace(
+        machines=machines, containers=containers, interval_seconds=interval_seconds
+    )

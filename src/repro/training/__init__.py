@@ -1,0 +1,29 @@
+"""Training loop, callbacks and evaluation metrics."""
+
+from .callbacks import (
+    Callback,
+    CSVLogger,
+    EarlyStopping,
+    History,
+    LambdaCallback,
+    ModelCheckpoint,
+)
+from .metrics import mae, mape, mse, r2_score, rmse, smape
+from .trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Trainer",
+    "TrainingHistory",
+    "Callback",
+    "EarlyStopping",
+    "ModelCheckpoint",
+    "CSVLogger",
+    "History",
+    "LambdaCallback",
+    "mse",
+    "mae",
+    "rmse",
+    "mape",
+    "smape",
+    "r2_score",
+]

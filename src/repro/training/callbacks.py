@@ -1,0 +1,181 @@
+"""Training callbacks.
+
+:class:`EarlyStopping` reproduces the paper's setup: "we use the callback
+function EarlyStopping to prevent model overfitting, and the parameter
+*patience* is 10" (§IV-A), including Keras' restore-best-weights option.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Callable
+
+from ..nn.module import Module
+
+__all__ = [
+    "Callback",
+    "EarlyStopping",
+    "ModelCheckpoint",
+    "CSVLogger",
+    "History",
+    "LambdaCallback",
+]
+
+
+class Callback:
+    """Hooks invoked by :class:`repro.training.trainer.Trainer`."""
+
+    def on_train_begin(self, model: Module) -> None: ...
+
+    def on_epoch_end(self, epoch: int, logs: dict[str, float], model: Module) -> None: ...
+
+    def on_train_end(self, model: Module) -> None: ...
+
+    @property
+    def stop_training(self) -> bool:
+        return False
+
+
+class EarlyStopping(Callback):
+    """Stop when a monitored metric stops improving (paper: patience=10)."""
+
+    def __init__(
+        self,
+        monitor: str = "val_loss",
+        patience: int = 10,
+        min_delta: float = 0.0,
+        restore_best_weights: bool = True,
+    ) -> None:
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0, got {patience}")
+        self.monitor = monitor
+        self.patience = patience
+        self.min_delta = min_delta
+        self.restore_best_weights = restore_best_weights
+        self.best = math.inf
+        self.best_epoch = -1
+        self.wait = 0
+        self._stop = False
+        self._best_state: dict | None = None
+
+    @property
+    def stop_training(self) -> bool:
+        return self._stop
+
+    def on_train_begin(self, model: Module) -> None:
+        self.best = math.inf
+        self.best_epoch = -1
+        self.wait = 0
+        self._stop = False
+        self._best_state = None
+
+    def on_epoch_end(self, epoch: int, logs: dict[str, float], model: Module) -> None:
+        current = logs.get(self.monitor)
+        if current is None:
+            raise KeyError(
+                f"EarlyStopping monitors {self.monitor!r} but logs only has {sorted(logs)}"
+            )
+        if current < self.best - self.min_delta:
+            self.best = current
+            self.best_epoch = epoch
+            self.wait = 0
+            if self.restore_best_weights:
+                self._best_state = model.state_dict()
+        else:
+            self.wait += 1
+            if self.wait > self.patience:
+                self._stop = True
+
+    def on_train_end(self, model: Module) -> None:
+        if self.restore_best_weights and self._best_state is not None:
+            model.load_state_dict(self._best_state)
+
+
+class ModelCheckpoint(Callback):
+    """Save model weights whenever the monitored metric improves."""
+
+    def __init__(self, path: str | Path, monitor: str = "val_loss") -> None:
+        self.path = Path(path)
+        self.monitor = monitor
+        self.best = math.inf
+
+    def on_epoch_end(self, epoch: int, logs: dict[str, float], model: Module) -> None:
+        current = logs.get(self.monitor)
+        if current is None:
+            raise KeyError(
+                f"ModelCheckpoint monitors {self.monitor!r} but logs only has {sorted(logs)}"
+            )
+        if current < self.best:
+            self.best = current
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            model.save(self.path)
+
+
+class CSVLogger(Callback):
+    """Append one row of epoch logs to a CSV file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._header_written = False
+
+    def on_train_begin(self, model: Module) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+        self._header_written = False
+
+    def on_epoch_end(self, epoch: int, logs: dict[str, float], model: Module) -> None:
+        keys = sorted(logs)
+        with self.path.open("a", newline="") as fh:
+            writer = csv.writer(fh)
+            if not self._header_written:
+                writer.writerow(["epoch", *keys])
+                self._header_written = True
+            writer.writerow([epoch, *[logs[k] for k in keys]])
+
+
+class History(Callback):
+    """Accumulate per-epoch logs in memory (Figs. 9-10 convergence data)."""
+
+    def __init__(self) -> None:
+        self.epochs: list[int] = []
+        self.records: dict[str, list[float]] = {}
+
+    def on_train_begin(self, model: Module) -> None:
+        self.epochs.clear()
+        self.records.clear()
+
+    def on_epoch_end(self, epoch: int, logs: dict[str, float], model: Module) -> None:
+        self.epochs.append(epoch)
+        for key, value in logs.items():
+            self.records.setdefault(key, []).append(value)
+
+    def __getitem__(self, key: str) -> list[float]:
+        return self.records[key]
+
+
+class LambdaCallback(Callback):
+    """Adapt plain functions into a callback."""
+
+    def __init__(
+        self,
+        on_epoch_end: Callable[[int, dict[str, float], Module], None] | None = None,
+        on_train_begin: Callable[[Module], None] | None = None,
+        on_train_end: Callable[[Module], None] | None = None,
+    ) -> None:
+        self._epoch_end = on_epoch_end
+        self._train_begin = on_train_begin
+        self._train_end = on_train_end
+
+    def on_train_begin(self, model: Module) -> None:
+        if self._train_begin:
+            self._train_begin(model)
+
+    def on_epoch_end(self, epoch: int, logs: dict[str, float], model: Module) -> None:
+        if self._epoch_end:
+            self._epoch_end(epoch, logs, model)
+
+    def on_train_end(self, model: Module) -> None:
+        if self._train_end:
+            self._train_end(model)

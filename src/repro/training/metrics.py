@@ -1,0 +1,63 @@
+"""Evaluation metrics.
+
+MSE (paper eq. 9) and MAE (paper eq. 10) are the two metrics Table II
+reports; the rest are standard companions used by the extended analyses.
+All metrics accept arrays of any matching shape and reduce over every
+element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "mae", "rmse", "mape", "smape", "r2_score"]
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, float)
+    y_pred = np.asarray(y_pred, float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty arrays")
+    return y_true, y_pred
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error — paper eq. (9)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error — paper eq. (10)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error; near-zero truths are floored at eps."""
+    y_true, y_pred = _check(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom) * 100.0)
+
+
+def smape(y_true: np.ndarray, y_pred: np.ndarray, eps: float = 1e-8) -> float:
+    """Symmetric MAPE in [0, 200]."""
+    y_true, y_pred = _check(y_true, y_pred)
+    denom = np.maximum((np.abs(y_true) + np.abs(y_pred)) / 2.0, eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom) * 100.0)
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 0 for a constant truth fitted exactly."""
+    y_true, y_pred = _check(y_true, y_pred)
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

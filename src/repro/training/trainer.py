@@ -1,0 +1,154 @@
+"""Mini-batch training loop for :mod:`repro.nn` models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.optim.base import Optimizer
+from ..nn.optim.clip import clip_grad_norm
+from ..nn.tensor import Tensor, no_grad
+from .callbacks import Callback, History
+
+__all__ = ["Trainer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves produced by one :meth:`Trainer.fit` run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    epochs_run: int = 0
+    stopped_early: bool = False
+
+    def as_dict(self) -> dict[str, list[float]]:
+        return {"loss": self.train_loss, "val_loss": self.val_loss}
+
+
+class Trainer:
+    """Train a model with an optimizer, a loss module, and callbacks.
+
+    Parameters
+    ----------
+    model, optimizer, loss:
+        Any :class:`~repro.nn.Module` triple; the loss is called as
+        ``loss(prediction, target)`` and must return a scalar Tensor.
+    grad_clip_norm:
+        Optional joint-L2 gradient clipping (recurrent nets benefit).
+    rng:
+        Generator for batch shuffling — keeps runs reproducible.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss: Module,
+        grad_clip_norm: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss
+        self.grad_clip_norm = grad_clip_norm
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        """Mean loss over a dataset, in eval mode with autograd off."""
+        self.model.eval()
+        total = 0.0
+        count = 0
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                xb = Tensor(x[start : start + batch_size])
+                yb = Tensor(y[start : start + batch_size])
+                out = self.model(xb)
+                loss = self.loss(out, yb)
+                n = len(xb)
+                total += loss.item() * n
+                count += n
+        self.model.train()
+        return total / max(count, 1)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Forward pass over a dataset (eval mode, no graph)."""
+        self.model.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                out = self.model(Tensor(x[start : start + batch_size]))
+                outputs.append(out.data)
+        self.model.train()
+        return np.concatenate(outputs, axis=0)
+
+    # -- training ----------------------------------------------------------------
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        epochs: int = 50,
+        batch_size: int = 32,
+        callbacks: list[Callback] | None = None,
+        shuffle: bool = True,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        callbacks = list(callbacks or [])
+        history = TrainingHistory()
+        has_val = x_val is not None and y_val is not None
+
+        for cb in callbacks:
+            cb.on_train_begin(self.model)
+
+        self.model.train()
+        n = len(x_train)
+        for epoch in range(epochs):
+            idx = np.arange(n)
+            if shuffle:
+                self.rng.shuffle(idx)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                sel = idx[start : start + batch_size]
+                xb = Tensor(x_train[sel])
+                yb = Tensor(y_train[sel])
+                self.optimizer.zero_grad()
+                out = self.model(xb)
+                loss = self.loss(out, yb)
+                loss.backward()
+                if self.grad_clip_norm is not None:
+                    clip_grad_norm(list(self.model.parameters()), self.grad_clip_norm)
+                self.optimizer.step()
+                epoch_loss += loss.item() * len(sel)
+            epoch_loss /= n
+
+            logs: dict[str, float] = {"loss": epoch_loss}
+            history.train_loss.append(epoch_loss)
+            if has_val:
+                val_loss = self.evaluate(x_val, y_val)
+                logs["val_loss"] = val_loss
+                history.val_loss.append(val_loss)
+            history.epochs_run = epoch + 1
+
+            if verbose:  # pragma: no cover - console output
+                extra = f" val_loss={logs.get('val_loss', float('nan')):.5f}" if has_val else ""
+                print(f"epoch {epoch + 1}/{epochs} loss={epoch_loss:.5f}{extra}")
+
+            stop = False
+            for cb in callbacks:
+                cb.on_epoch_end(epoch, logs, self.model)
+                stop = stop or cb.stop_training
+            if stop:
+                history.stopped_early = True
+                break
+
+        for cb in callbacks:
+            cb.on_train_end(self.model)
+        self.model.eval()
+        return history

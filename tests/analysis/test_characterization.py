@@ -1,0 +1,104 @@
+"""Characterization statistics tests (Figs. 1-3 data)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import (
+    boxplot_stats_per_window,
+    fraction_below,
+    resource_series,
+    utilization_summary,
+)
+from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return ClusterTraceGenerator(
+        TraceConfig(n_machines=4, containers_per_machine=2, n_steps=1200, seed=23)
+    ).generate()
+
+
+class TestResourceSeries:
+    def test_default_indicators(self, trace):
+        series = resource_series(trace.containers[0])
+        assert set(series) == {"cpu_util_percent", "mem_util_percent", "disk_io_percent"}
+        assert all(len(v) == 1200 for v in series.values())
+
+    def test_returns_copies(self, trace):
+        series = resource_series(trace.containers[0])
+        series["cpu_util_percent"][0] = -1.0
+        assert trace.containers[0].cpu[0] >= 0.0
+
+
+class TestBoxplot:
+    def test_quartile_ordering(self, trace):
+        stats = boxplot_stats_per_window(trace.machines[0].cpu, window=200)
+        for s in stats:
+            assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+            assert s.minimum <= s.mean <= s.maximum
+            assert s.iqr >= 0
+
+    def test_window_count(self):
+        series = np.random.default_rng(0).random(1000)
+        stats = boxplot_stats_per_window(series, window=250)
+        assert len(stats) == 4
+        assert [s.start_index for s in stats] == [0, 250, 500, 750]
+
+    def test_known_values(self):
+        series = np.arange(100.0)
+        stats = boxplot_stats_per_window(series, window=100)
+        s = stats[0]
+        assert s.median == pytest.approx(49.5)
+        assert s.minimum == 0.0 and s.maximum == 99.0
+
+    def test_partial_tail_window(self):
+        series = np.random.default_rng(0).random(1050)
+        stats = boxplot_stats_per_window(series, window=500)
+        # 1050 = 2 full + a 50-sample tail (>= window/4 not met -> dropped)
+        assert len(stats) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            boxplot_stats_per_window(np.zeros(10), window=2)
+        with pytest.raises(ValueError):
+            boxplot_stats_per_window(np.zeros((5, 2)), window=4)
+
+
+class TestFractionBelow:
+    def test_known_matrix(self):
+        matrix = np.array([[10.0, 90.0], [20.0, 80.0], [30.0, 10.0]])
+        frac = fraction_below(matrix, threshold=50.0)
+        np.testing.assert_allclose(frac, [1.0, 1.0 / 3.0])
+
+    def test_windowed_average(self):
+        matrix = np.array([[10.0, 90.0, 10.0, 90.0]])
+        frac = fraction_below(matrix, threshold=50.0, window=2)
+        np.testing.assert_allclose(frac, [0.5, 0.5])
+
+    def test_bounded(self, trace):
+        frac = fraction_below(trace.machine_cpu_matrix(), window=100)
+        assert (frac >= 0.0).all() and (frac <= 1.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fraction_below(np.zeros(5))
+
+
+class TestSummary:
+    def test_keys_and_ranges(self, trace):
+        s = utilization_summary(trace)
+        assert set(s) == {
+            "mean_cpu",
+            "cluster_avg_below_60_frac",
+            "machines_mostly_below_50_frac",
+            "p75_cluster_avg",
+        }
+        assert 0.0 <= s["cluster_avg_below_60_frac"] <= 1.0
+        assert 0.0 <= s["machines_mostly_below_50_frac"] <= 1.0
+
+    def test_calibration_matches_paper_claims(self, trace):
+        """§II: most machines under 50% CPU; cluster average under 0.6 most of the time."""
+        s = utilization_summary(trace)
+        assert s["machines_mostly_below_50_frac"] >= 0.5
+        assert s["cluster_avg_below_60_frac"] >= 0.7

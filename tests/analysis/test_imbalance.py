@@ -1,0 +1,84 @@
+"""Imbalance metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.imbalance import (
+    cluster_imbalance,
+    cross_resource_imbalance,
+    spatial_imbalance,
+    temporal_imbalance,
+)
+from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return ClusterTraceGenerator(
+        TraceConfig(n_machines=6, containers_per_machine=2, n_steps=800, seed=41)
+    ).generate()
+
+
+class TestSpatial:
+    def test_uniform_load_zero_cv(self):
+        matrix = np.full((4, 50), 30.0)
+        np.testing.assert_allclose(spatial_imbalance(matrix), 0.0)
+
+    def test_skewed_load_positive_cv(self):
+        matrix = np.vstack([np.full(50, 10.0), np.full(50, 90.0)])
+        cv = spatial_imbalance(matrix)
+        assert (cv > 0.5).all()
+
+    def test_known_value(self):
+        matrix = np.array([[10.0], [30.0]])
+        # mean 20, std 10 -> cv 0.5
+        assert spatial_imbalance(matrix)[0] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spatial_imbalance(np.zeros((1, 10)))
+
+
+class TestTemporal:
+    def test_constant_machine_zero(self):
+        matrix = np.full((2, 30), 40.0)
+        np.testing.assert_allclose(temporal_imbalance(matrix), 0.0)
+
+    def test_bursty_machine_higher_than_steady(self, rng):
+        steady = np.full(200, 40.0) + rng.normal(0, 1, 200)
+        bursty = np.where(rng.random(200) < 0.1, 90.0, 10.0)
+        cv = temporal_imbalance(np.vstack([steady, bursty]))
+        assert cv[1] > 3 * cv[0]
+
+    def test_zero_mean_machine_safe(self):
+        matrix = np.zeros((2, 10))
+        np.testing.assert_allclose(temporal_imbalance(matrix), 0.0)
+
+
+class TestCrossResource:
+    def test_per_machine_gap(self, trace):
+        gaps = cross_resource_imbalance(trace)
+        assert gaps.shape == (trace.n_machines,)
+        assert (gaps >= 0).all()
+
+    def test_empty_trace_rejected(self):
+        from repro.traces.schema import ClusterTrace
+
+        with pytest.raises(ValueError):
+            cross_resource_imbalance(ClusterTrace())
+
+
+class TestSummary:
+    def test_synthetic_cluster_is_imbalanced(self, trace):
+        """The generator reproduces the ref-[5] imbalance the paper cites."""
+        summary = cluster_imbalance(trace)
+        assert summary.mean_spatial_cv > 0.0
+        assert summary.mean_temporal_cv > 0.0
+        assert summary.mean_cpu_mem_gap > 0.0
+        assert summary.max_spatial_cv >= summary.mean_spatial_cv
+
+    def test_threshold_flag(self):
+        from repro.analysis.imbalance import ImbalanceSummary
+
+        assert ImbalanceSummary(0.3, 0.5, 0.1, 5.0).is_imbalanced
+        assert not ImbalanceSummary(0.1, 0.2, 0.1, 5.0).is_imbalanced

@@ -1,0 +1,152 @@
+"""ACF / PACF / ADF / decomposition tests against known processes."""
+
+import numpy as np
+import pytest
+from scipy.signal import lfilter
+
+from repro.analysis.timeseries import acf, adf_test, pacf, seasonal_decompose
+
+
+def ar1(n, phi, sigma=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return lfilter([1.0], [1.0, -phi], rng.normal(0, sigma, n))
+
+
+class TestACF:
+    def test_lag0_is_one(self, rng):
+        assert acf(rng.random(100), 5)[0] == pytest.approx(1.0)
+
+    def test_ar1_geometric_decay(self):
+        series = ar1(100_000, 0.8)
+        rho = acf(series, 5)
+        for k in range(1, 6):
+            assert rho[k] == pytest.approx(0.8**k, abs=0.03)
+
+    def test_white_noise_near_zero(self, rng):
+        rho = acf(rng.standard_normal(50_000), 10)
+        assert np.abs(rho[1:]).max() < 0.03
+
+    def test_matches_direct_computation(self, rng):
+        x = rng.random(300)
+        rho = acf(x, 4)
+        xc = x - x.mean()
+        direct = np.array(
+            [1.0] + [float((xc[:-k] * xc[k:]).sum() / (xc**2).sum()) for k in range(1, 5)]
+        )
+        np.testing.assert_allclose(rho, direct, atol=1e-10)
+
+    def test_constant_series(self):
+        rho = acf(np.full(50, 3.0), 3)
+        np.testing.assert_array_equal(rho, [1.0, 0.0, 0.0, 0.0])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            acf(rng.random(10), 10)
+        with pytest.raises(ValueError):
+            acf(np.array([1.0]), 0)
+
+
+class TestPACF:
+    def test_ar1_cuts_off_after_lag1(self):
+        series = ar1(100_000, 0.7)
+        p = pacf(series, 5)
+        assert p[1] == pytest.approx(0.7, abs=0.03)
+        assert np.abs(p[2:]).max() < 0.05
+
+    def test_ar2_cuts_off_after_lag2(self):
+        rng = np.random.default_rng(1)
+        series = lfilter([1.0], [1.0, -0.5, -0.3], rng.normal(0, 1, 100_000))
+        p = pacf(series, 5)
+        assert abs(p[2]) > 0.2  # significant at lag 2
+        assert np.abs(p[3:]).max() < 0.05
+
+    def test_lag0(self, rng):
+        assert pacf(rng.random(100), 0)[0] == 1.0
+
+
+class TestADF:
+    def test_stationary_ar_rejected_unit_root(self):
+        series = ar1(3000, 0.5, seed=2)
+        res = adf_test(series)
+        assert res.is_stationary
+        assert res.statistic < -3.5
+
+    def test_random_walk_not_stationary(self):
+        rng = np.random.default_rng(3)
+        walk = np.cumsum(rng.normal(0, 1, 3000))
+        res = adf_test(walk)
+        assert not res.is_stationary
+
+    def test_differenced_walk_stationary(self):
+        rng = np.random.default_rng(4)
+        walk = np.cumsum(rng.normal(0, 1, 3000))
+        assert adf_test(np.diff(walk)).is_stationary
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adf_test(np.arange(5.0))
+
+
+class TestDecomposition:
+    def _seasonal_series(self, n=600, period=24, seed=5):
+        rng = np.random.default_rng(seed)
+        t = np.arange(n)
+        return (
+            0.01 * t  # trend
+            + 2.0 * np.sin(2 * np.pi * t / period)  # seasonality
+            + rng.normal(0, 0.1, n)  # noise
+        )
+
+    def test_components_sum_to_series(self):
+        series = self._seasonal_series()
+        dec = seasonal_decompose(series, period=24)
+        mask = ~np.isnan(dec.trend)
+        np.testing.assert_allclose(
+            dec.trend[mask] + dec.seasonal[mask] + dec.resid[mask], series[mask]
+        )
+
+    def test_seasonal_component_periodic(self):
+        dec = seasonal_decompose(self._seasonal_series(), period=24)
+        np.testing.assert_allclose(dec.seasonal[:24], dec.seasonal[24:48])
+
+    def test_recovers_amplitude(self):
+        dec = seasonal_decompose(self._seasonal_series(), period=24)
+        assert dec.seasonal.max() == pytest.approx(2.0, abs=0.15)
+
+    def test_seasonal_strength_ordering(self, rng):
+        strong = seasonal_decompose(self._seasonal_series(), 24).seasonal_strength()
+        noise_series = rng.standard_normal(600)
+        weak = seasonal_decompose(noise_series, 24).seasonal_strength()
+        assert strong > 0.9
+        assert weak < strong
+
+    def test_odd_period(self):
+        series = self._seasonal_series(period=21)
+        dec = seasonal_decompose(series, period=21)
+        assert dec.period == 21
+        assert np.isnan(dec.trend[0]) and np.isnan(dec.trend[-1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            seasonal_decompose(np.arange(10.0), period=8)
+        with pytest.raises(ValueError):
+            seasonal_decompose(np.arange(100.0), period=1)
+
+
+class TestOnTraces:
+    def test_machine_vs_container_seasonality(self):
+        """Machines (diurnal) decompose with higher seasonal strength than
+        high-dynamic containers at the diurnal period."""
+        from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+
+        period = 200
+        gen = ClusterTraceGenerator(
+            TraceConfig(n_machines=1, containers_per_machine=1, n_steps=1200,
+                        seed=6, diurnal_period=period,
+                        container_mix={"regime_switching": 1.0},
+                        machine_container_coupling=0.1)
+        )
+        trace = gen.generate()
+        m = seasonal_decompose(trace.machines[0].cpu, period).seasonal_strength()
+        c = seasonal_decompose(trace.containers[0].cpu, period).seasonal_strength()
+        assert m > c

@@ -1,0 +1,90 @@
+"""Rolling-origin cross-validation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.crossval import cross_validate, rolling_origin_folds
+from repro.models import PersistenceForecaster
+
+
+class TestFolds:
+    def test_basic_structure(self):
+        folds = rolling_origin_folds(100, n_folds=3, min_train_fraction=0.4)
+        assert len(folds) == 3
+        assert folds[0].train == slice(0, 40)
+        assert folds[-1].test.stop == 100
+
+    def test_no_future_leakage(self):
+        for fold in rolling_origin_folds(200, n_folds=5):
+            assert fold.train.stop <= fold.test.start
+
+    def test_expanding_train_grows(self):
+        folds = rolling_origin_folds(100, n_folds=3, expanding=True)
+        sizes = [f.sizes()[0] for f in folds]
+        assert sizes == sorted(sizes)
+        assert all(f.train.start == 0 for f in folds)
+
+    def test_sliding_train_fixed_length(self):
+        folds = rolling_origin_folds(100, n_folds=3, expanding=False)
+        sizes = {f.sizes()[0] for f in folds}
+        assert len(sizes) == 1  # constant training length
+
+    @given(st.integers(20, 2000), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_cover_tail_property(self, n, k):
+        """Folds' test blocks tile the post-prefix region exactly."""
+        try:
+            folds = rolling_origin_folds(n, n_folds=k)
+        except ValueError:
+            return  # legitimately infeasible combination
+        stops = [f.test for f in folds]
+        # contiguous, ordered, ending at n
+        for a, b in zip(stops[:-1], stops[1:]):
+            assert a.stop == b.start
+        assert stops[-1].stop == n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rolling_origin_folds(5)
+        with pytest.raises(ValueError):
+            rolling_origin_folds(100, n_folds=0)
+        with pytest.raises(ValueError):
+            rolling_origin_folds(100, min_train_fraction=1.0)
+        with pytest.raises(ValueError):
+            rolling_origin_folds(12, n_folds=10)
+
+
+class TestCrossValidate:
+    @pytest.fixture
+    def windows(self, rng):
+        from repro.data.windowing import make_windows
+
+        series = np.sin(np.linspace(0, 20, 300)) * 0.4 + 0.5
+        return make_windows(series[:, None], series, window=8)
+
+    def test_by_name(self, windows):
+        x, y = windows
+        res = cross_validate("persistence", x, y, n_folds=3)
+        assert len(res["mse"]) == 3
+        assert res["mean_mse"] == pytest.approx(np.mean(res["mse"]))
+        assert res["mean_mae"] > 0
+
+    def test_by_factory(self, windows):
+        x, y = windows
+        res = cross_validate(lambda: PersistenceForecaster(), x, y, n_folds=2)
+        assert len(res["folds"]) == 2
+
+    def test_fresh_model_per_fold(self, windows):
+        """Factories must be re-invoked per fold (no state carryover)."""
+        x, y = windows
+        created = []
+
+        def factory():
+            m = PersistenceForecaster()
+            created.append(m)
+            return m
+
+        cross_validate(factory, x, y, n_folds=4)
+        assert len(created) == 4

@@ -1,0 +1,128 @@
+"""Algorithm-1 pipeline integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.pipeline import PipelineConfig, PredictionPipeline
+from repro.traces.corruption import CorruptionConfig, corrupt_entity
+from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+
+
+@pytest.fixture(scope="module")
+def entity():
+    gen = ClusterTraceGenerator(
+        TraceConfig(n_machines=1, containers_per_machine=1, n_steps=800, seed=17)
+    )
+    return gen.generate().containers[0]
+
+
+class TestPrepare:
+    def test_uni_single_feature(self, entity):
+        res = PredictionPipeline(PipelineConfig(scenario="uni")).prepare(entity)
+        assert res.feature_names == ["cpu_util_percent"]
+        assert res.target_col == 0
+
+    def test_mul_selects_top_half(self, entity):
+        res = PredictionPipeline(PipelineConfig(scenario="mul")).prepare(entity)
+        assert len(res.selected_indicators) == 4  # ceil(8/2)
+        assert res.selected_indicators[0] == "cpu_util_percent"
+        # the generator's coupling model puts the microarch indicators on top
+        assert set(res.selected_indicators[1:]) == {"mpki", "cpi", "mem_gps"}
+
+    def test_mul_exp_expands_lags(self, entity):
+        res = PredictionPipeline(PipelineConfig(scenario="mul_exp")).prepare(entity)
+        assert len(res.feature_names) == 12  # 4 indicators x 3 lags
+        assert res.feature_names[res.target_col] == "cpu_util_percent_lag0"
+
+    def test_features_normalized(self, entity):
+        res = PredictionPipeline(PipelineConfig(scenario="mul")).prepare(entity)
+        xt, _ = res.dataset.train
+        assert xt.min() >= -1e-9 and xt.max() <= 1.5  # test rows may exceed 1 slightly
+
+    def test_622_split(self, entity):
+        res = PredictionPipeline(PipelineConfig()).prepare(entity)
+        n_train, n_val, n_test = res.dataset.split.sizes()
+        total = n_train + n_val + n_test
+        assert n_train / total == pytest.approx(0.6, abs=0.01)
+
+    def test_denormalize_roundtrip(self, entity):
+        res = PredictionPipeline(PipelineConfig(scenario="uni")).prepare(entity)
+        _, y = res.dataset.test
+        recovered = res.denormalize_target(y[:, 0])
+        # back on the raw percent scale
+        assert recovered.max() <= 110.0 and recovered.min() >= -10.0
+        assert recovered.std() > y[:, 0].std()  # scale restored
+
+    def test_corrupted_input_cleaned(self, entity):
+        rng = np.random.default_rng(0)
+        dirty = corrupt_entity(entity, CorruptionConfig(seed=1), rng)
+        res = PredictionPipeline(PipelineConfig()).prepare(dirty)
+        assert res.cleaning_report.n_dropped_incomplete > 0
+        xt, _ = res.dataset.train
+        assert not np.isnan(xt).any()
+
+    def test_too_short_series_raises(self, entity):
+        from dataclasses import replace
+
+        tiny = replace(entity, timestamps=entity.timestamps[:30], values=entity.values[:30])
+        with pytest.raises(ValueError, match="too short"):
+            PredictionPipeline(PipelineConfig(window=12)).prepare(tiny)
+
+
+class TestExtensions:
+    def test_difference_features(self, entity):
+        res = PredictionPipeline(
+            PipelineConfig(scenario="mul", add_differences=True)
+        ).prepare(entity)
+        assert any(n.endswith("_diff1") for n in res.feature_names)
+        assert len(res.feature_names) == 8  # 4 + 4 diffs
+
+    def test_weighted_expansion(self, entity):
+        res = PredictionPipeline(
+            PipelineConfig(scenario="mul_exp", correlation_weighted=True, max_weighted_lags=4)
+        ).prepare(entity)
+        cpu_cols = [n for n in res.feature_names if n.startswith("cpu_util_percent_")]
+        assert len(cpu_cols) == 4  # target has |rho| = 1 -> max lags
+        assert res.feature_names[res.target_col] == "cpu_util_percent_lag0"
+
+    def test_alternative_target(self, entity):
+        res = PredictionPipeline(
+            PipelineConfig(target="mem_util_percent", scenario="mul")
+        ).prepare(entity)
+        assert res.selected_indicators[0] == "mem_util_percent"
+
+
+class TestRun:
+    def test_run_with_persistence(self, entity):
+        pipe = PredictionPipeline(PipelineConfig(scenario="mul_exp"))
+        res = pipe.run(entity, "persistence")
+        assert set(res.metrics) == {"mse", "mae", "rmse"}
+        assert res.predictions.shape == res.truths.shape
+        assert res.metrics["mse"] > 0
+
+    def test_run_reuses_prepared(self, entity):
+        pipe = PredictionPipeline(PipelineConfig(scenario="uni"))
+        prepared = pipe.prepare(entity)
+        r1 = pipe.run(entity, "persistence", prepared=prepared)
+        r2 = pipe.run(entity, "mean", prepared=prepared)
+        assert r1.pipeline is r2.pipeline
+
+    def test_run_with_forecaster_instance(self, entity):
+        from repro.models import PersistenceForecaster
+
+        pipe = PredictionPipeline(PipelineConfig(scenario="uni"))
+        res = pipe.run(entity, PersistenceForecaster())
+        assert res.metrics["mae"] > 0
+
+    def test_multistep_horizon(self, entity):
+        pipe = PredictionPipeline(PipelineConfig(scenario="uni", horizon=3))
+        res = pipe.run(entity, "drift")
+        assert res.predictions.shape[1] == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(scenario="bogus")
+        with pytest.raises(ValueError):
+            PipelineConfig(target="bogus")
+        with pytest.raises(ValueError):
+            PipelineConfig(window=1)

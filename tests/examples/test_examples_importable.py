@@ -1,0 +1,49 @@
+"""Every example must at least import and expose a main() entry point.
+
+Full executions are exercised manually / in the docs; this guards against
+API drift silently breaking the examples directory.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    assert callable(module.main)
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    required = {
+        "quickstart",
+        "mutation_tracking",
+        "multi_resource",
+        "trace_analysis",
+        "predictive_autoscaling",
+        "prediction_aware_scheduling",
+        "online_serving",
+        "model_selection",
+        "interpretability",
+    }
+    assert required <= names, f"missing examples: {required - names}"
+
+
+def test_examples_have_docstrings():
+    for path in EXAMPLES:
+        first = path.read_text().lstrip()
+        assert first.startswith('"""'), f"{path.name} lacks a module docstring"

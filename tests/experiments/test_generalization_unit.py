@@ -1,0 +1,52 @@
+"""Generalization harness unit tests."""
+
+import pytest
+
+from repro.experiments.generalization import GeneralizationResult, run_generalization
+from .test_harnesses import TINY
+
+
+class TestGeneralizationResult:
+    def _result(self):
+        res = GeneralizationResult(model="m", source_id="src")
+        res.targets["a"] = {
+            "transfer": {"mse": 0.02, "mae": 0.1},
+            "in_domain": {"mse": 0.01, "mae": 0.08},
+        }
+        res.targets["b"] = {
+            "transfer": {"mse": 0.03, "mae": 0.12},
+            "in_domain": {"mse": 0.03, "mae": 0.12},
+        }
+        return res
+
+    def test_gap(self):
+        res = self._result()
+        assert res.gap("a") == pytest.approx(2.0)
+        assert res.gap("b") == pytest.approx(1.0)
+
+    def test_mean_gap(self):
+        assert self._result().mean_gap() == pytest.approx(1.5)
+
+
+class TestRunGeneralization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_generalization(TINY, model="persistence", n_targets=2)
+
+    def test_targets_include_cross_level(self, result):
+        kinds = set(result.targets)
+        assert any(t.startswith("m_") for t in kinds), "a machine target is required"
+        assert any(t.startswith("c_") for t in kinds), "a container target is required"
+
+    def test_source_not_among_targets(self, result):
+        assert result.source_id not in result.targets
+
+    def test_metrics_populated(self, result):
+        for entry in result.targets.values():
+            assert entry["transfer"]["mse"] > 0
+            assert entry["in_domain"]["mse"] > 0
+
+    def test_persistence_transfers_perfectly(self, result):
+        """Persistence has no fitted state, so transfer == in-domain."""
+        for target in result.targets:
+            assert result.gap(target) == pytest.approx(1.0)

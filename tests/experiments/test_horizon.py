@@ -1,0 +1,27 @@
+"""Long-term horizon sweep harness tests."""
+
+import pytest
+
+from repro.experiments.horizon import run_horizon_sweep
+from .test_harnesses import TINY
+
+
+class TestHorizonSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_horizon_sweep(TINY, horizons=(1, 3), models=("persistence", "rptcn"))
+
+    def test_all_cells_populated(self, result):
+        assert result.horizons == (1, 3)
+        for model in ("persistence", "rptcn"):
+            for h in (1, 3):
+                assert result.metrics[model][h]["mse"] > 0
+
+    def test_error_grows_with_horizon_for_persistence(self, result):
+        """Persistence degrades provably as the gap to the target widens."""
+        per_h = result.metrics["persistence"]
+        assert per_h[3]["mae"] >= per_h[1]["mae"]
+        assert result.degradation("persistence") >= 1.0
+
+    def test_best_at_returns_known_model(self, result):
+        assert result.best_at(1) in ("persistence", "rptcn")

@@ -1,0 +1,39 @@
+"""Runner CLI wiring tests (cheap paths only)."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestWiring:
+    def test_every_experiment_has_a_runner(self):
+        for name in runner.EXPERIMENTS + runner.EXTENSIONS:
+            assert name in runner._RUNNERS
+
+    def test_profiles_advertised(self):
+        from repro.experiments.config import PROFILES
+
+        assert {"quick", "default", "paper"} <= set(PROFILES)
+
+    def test_extensions_choice_accepted(self, monkeypatch):
+        """--experiment extensions resolves to the extension harnesses."""
+        called = []
+        monkeypatch.setattr(
+            runner, "_RUNNERS", {name: (lambda n: lambda p: called.append(n))(name)
+                                 for name in runner.EXPERIMENTS + runner.EXTENSIONS}
+        )
+        assert runner.main(["-e", "extensions", "-p", "quick"]) == 0
+        assert called == list(runner.EXTENSIONS)
+
+    def test_all_choice_runs_paper_artifacts_only(self, monkeypatch):
+        called = []
+        monkeypatch.setattr(
+            runner, "_RUNNERS", {name: (lambda n: lambda p: called.append(n))(name)
+                                 for name in runner.EXPERIMENTS + runner.EXTENSIONS}
+        )
+        assert runner.main(["-e", "all", "-p", "quick"]) == 0
+        assert called == list(runner.EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["-e", "nope"])

@@ -1,0 +1,187 @@
+"""TCN / RPTCN / LSTM / CNN-LSTM forecaster tests."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    CNNLSTMForecaster,
+    LSTMForecaster,
+    RPTCN,
+    RPTCNForecaster,
+    TCN,
+    TCNForecaster,
+    TemporalBlock,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+def sine_windows(n=400, window=12, horizon=1, features=3, seed=0):
+    """Synthetic multivariate windows with a learnable target."""
+    from repro.data.windowing import make_windows
+
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 30, n)
+    target = 0.5 + 0.4 * np.sin(t)
+    feats = np.column_stack(
+        [target] + [target + rng.normal(0, 0.05, n) for _ in range(features - 1)]
+    )
+    return make_windows(feats, target, window=window, horizon=horizon)
+
+
+class TestTemporalBlock:
+    def test_preserves_length(self, rng):
+        block = TemporalBlock(4, 8, kernel_size=3, dilation=2, rng=rng)
+        out = block(Tensor(rng.random((2, 4, 20))))
+        assert out.shape == (2, 8, 20)
+
+    def test_identity_shortcut_when_channels_match(self, rng):
+        block = TemporalBlock(6, 6, kernel_size=3, dilation=1, rng=rng)
+        assert block.downsample is None
+
+    def test_projection_shortcut_when_channels_differ(self, rng):
+        block = TemporalBlock(4, 8, kernel_size=3, dilation=1, rng=rng)
+        assert block.downsample is not None
+
+    def test_output_nonnegative_after_final_relu(self, rng):
+        block = TemporalBlock(3, 5, kernel_size=3, dilation=1, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 3, 15))))
+        assert (out.data >= 0).all()
+
+
+class TestTCNBackbone:
+    def test_default_dilations_double(self, rng):
+        tcn = TCN(3, channels=(8, 8, 8), rng=rng)
+        assert [b.dilation for b in tcn.blocks] == [1, 2, 4]
+
+    def test_receptive_field_formula(self, rng):
+        # RF = 1 + sum over blocks of 2*(K-1)*d
+        tcn = TCN(3, channels=(8, 8, 8), kernel_size=3, rng=rng)
+        assert tcn.receptive_field == 1 + 2 * 2 * (1 + 2 + 4)
+
+    def test_causality_of_full_stack(self, rng):
+        tcn = TCN(2, channels=(4, 4), rng=rng)
+        tcn.eval()
+        x = rng.random((1, 2, 30))
+        base = tcn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, :, 20] += 5.0
+        out = tcn(Tensor(x2)).data
+        np.testing.assert_allclose(out[:, :, :20], base[:, :, :20])
+
+    def test_dilations_override(self, rng):
+        tcn = TCN(3, channels=(8, 8), dilations=(1, 3), rng=rng)
+        assert [b.dilation for b in tcn.blocks] == [1, 3]
+
+    def test_dilations_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            TCN(3, channels=(8, 8), dilations=(1,), rng=rng)
+
+
+class TestRPTCNArchitecture:
+    def test_paper_figure5_config(self, rng):
+        """Kernel 3, dilations [1, 2, 4] as in Fig. 5."""
+        net = RPTCN(4, channels=(8, 8, 8), kernel_size=3, dilations=(1, 2, 4), rng=rng)
+        out = net(Tensor(rng.random((5, 12, 4))))
+        assert out.shape == (5, 1)
+
+    def test_multistep_head(self, rng):
+        net = RPTCN(4, horizon=3, rng=rng)
+        assert net(Tensor(rng.random((2, 12, 4)))).shape == (2, 3)
+
+    def test_attention_variants(self, rng):
+        for kind in ("feature", "temporal", "none"):
+            net = RPTCN(3, attention=kind, rng=rng)
+            assert net(Tensor(rng.random((2, 10, 3)))).shape == (2, 1)
+
+    def test_fc_ablation(self, rng):
+        net = RPTCN(3, use_fc=False, rng=rng)
+        assert net.fc is None
+        assert net(Tensor(rng.random((2, 10, 3)))).shape == (2, 1)
+
+    def test_invalid_attention(self, rng):
+        with pytest.raises(ValueError):
+            RPTCN(3, attention="bogus", rng=rng)
+
+    def test_attention_weights_inspectable(self, rng):
+        net = RPTCN(3, fc_units=16, rng=rng)
+        net.eval()
+        w = net.attention_weights(Tensor(rng.random((4, 10, 3))))
+        assert w.shape == (4, 16)
+        assert (w >= 0).all()
+
+    def test_attention_weights_none_when_ablated(self, rng):
+        net = RPTCN(3, attention="none", rng=rng)
+        assert net.attention_weights(Tensor(rng.random((1, 10, 3)))) is None
+
+    def test_zero_head_init_gives_zero_output(self, rng):
+        net = RPTCN(3, rng=rng)
+        net.eval()
+        out = net(Tensor(rng.random((3, 10, 3))))
+        np.testing.assert_array_equal(out.data, np.zeros((3, 1)))
+
+
+class TestForecasterLearning:
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (RPTCNForecaster, {"channels": (8, 8), "epochs": 25}),
+            (TCNForecaster, {"channels": (8, 8), "epochs": 25}),
+            (LSTMForecaster, {"hidden": 16, "epochs": 25}),
+            (CNNLSTMForecaster, {"filters": 8, "hidden": 16, "epochs": 25}),
+        ],
+    )
+    def test_learns_sine_better_than_mean(self, cls, kwargs):
+        x, y = sine_windows()
+        model = cls(seed=3, **kwargs)
+        model.fit(x[:250], y[:250], x[250:320], y[250:320])
+        pred = model.predict(x[320:])
+        truth = y[320:]
+        mse_model = np.mean((pred - truth) ** 2)
+        mse_const = np.mean((truth - y[:250].mean()) ** 2)
+        assert mse_model < 0.5 * mse_const, f"{cls.__name__} failed to learn"
+
+    def test_deterministic_given_seed(self):
+        x, y = sine_windows(n=150)
+        preds = []
+        for _ in range(2):
+            m = RPTCNForecaster(channels=(4, 4), epochs=3, seed=11)
+            m.fit(x[:80], y[:80])
+            preds.append(m.predict(x[80:90]))
+        np.testing.assert_array_equal(preds[0], preds[1])
+
+    def test_early_stopping_engages(self):
+        x, y = sine_windows(n=200)
+        m = LSTMForecaster(hidden=8, epochs=200, patience=3, seed=0)
+        m.fit(x[:100], y[:100], x[100:140], y[100:140])
+        assert m.history is not None
+        assert m.history.epochs_run < 200
+
+    def test_loss_curves_available(self):
+        x, y = sine_windows(n=150)
+        m = RPTCNForecaster(channels=(4, 4), epochs=4, seed=0)
+        m.fit(x[:80], y[:80], x[80:100], y[80:100])
+        curves = m.loss_curves
+        assert len(curves["loss"]) == len(curves["val_loss"]) > 0
+
+    def test_predict_before_fit_raises(self):
+        m = RPTCNForecaster()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            m.predict(np.zeros((1, 10, 2)))
+
+    def test_input_validation(self):
+        m = RPTCNForecaster(epochs=1)
+        with pytest.raises(ValueError):
+            m.fit(np.zeros((10, 5)), np.zeros((10, 1)))  # 2-D x
+        with pytest.raises(ValueError):
+            m.fit(np.zeros((10, 5, 2)), np.zeros((9, 1)))  # misaligned y
+
+    def test_multistep_forecaster(self):
+        x, y = sine_windows(horizon=3)
+        m = RPTCNForecaster(horizon=3, channels=(4, 4), epochs=5, seed=0)
+        m.fit(x[:100], y[:100])
+        assert m.predict(x[100:110]).shape == (10, 3)

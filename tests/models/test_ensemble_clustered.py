@@ -1,0 +1,188 @@
+"""Ensemble / hybrid / cluster-then-predict tests."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ClusteredForecaster,
+    EnsembleForecaster,
+    HybridARIMANNForecaster,
+    KMeans,
+    window_features,
+)
+
+from .test_deep_models import sine_windows
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        blobs = np.concatenate(
+            [rng.normal(c, 0.1, size=(100, 2)) for c in (0.0, 5.0, 10.0)]
+        )
+        km = KMeans(3, seed=1).fit(blobs)
+        labels = km.predict(blobs)
+        # each true blob maps to a single cluster
+        for start in (0, 100, 200):
+            assert len(np.unique(labels[start : start + 100])) == 1
+        # clusters are distinct across blobs
+        assert len({labels[0], labels[100], labels[200]}) == 3
+
+    def test_centroids_near_blob_means(self, rng):
+        blobs = np.concatenate([rng.normal(c, 0.05, (80, 1)) for c in (0.0, 1.0)])
+        km = KMeans(2, seed=0).fit(blobs)
+        got = np.sort(km.centroids_[:, 0])
+        np.testing.assert_allclose(got, [0.0, 1.0], atol=0.05)
+
+    def test_inertia_decreases_with_k(self, rng):
+        x = rng.random((200, 3))
+        inertias = [KMeans(k, seed=0).fit(x).inertia_ for k in (1, 2, 4, 8)]
+        assert inertias == sorted(inertias, reverse=True)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.random((100, 2))
+        a = KMeans(3, seed=5).fit(x).centroids_
+        b = KMeans(3, seed=5).fit(x).centroids_
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(5).fit(rng.random((3, 2)))
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(rng.random((3, 2)))
+
+
+class TestWindowFeatures:
+    def test_shape(self, rng):
+        feats = window_features(rng.random((20, 8, 3)), target_col=1)
+        assert feats.shape == (20, 5)
+
+    def test_discriminates_flat_from_noisy(self, rng):
+        flat = np.full((1, 16, 1), 0.5)
+        noisy = rng.random((1, 16, 1))
+        ff = window_features(flat)[0]
+        fn = window_features(noisy)[0]
+        assert ff[1] < fn[1]  # std
+        assert ff[3] < fn[3]  # roughness
+
+
+class TestEnsemble:
+    def test_uniform_average(self):
+        x, y = sine_windows(n=250)
+        ens = EnsembleForecaster(
+            members=[("persistence", {}), ("mean", {})], weighting="uniform"
+        )
+        ens.fit(x[:150], y[:150])
+        pred = ens.predict(x[150:160])
+        manual = 0.5 * (
+            x[150:160, -1, 0:1] + x[150:160, :, 0].mean(axis=1, keepdims=True)
+        )
+        np.testing.assert_allclose(pred, manual)
+
+    def test_inverse_mse_prefers_better_member(self):
+        x, y = sine_windows(n=300)
+        ens = EnsembleForecaster(
+            members=[("persistence", {}), ("mean", {})], weighting="inverse_mse"
+        )
+        ens.fit(x[:180], y[:180], x[180:230], y[180:230])
+        # persistence is much better than window-mean on a smooth sine
+        assert ens.weights_[0] > ens.weights_[1]
+        assert ens.weights_.sum() == pytest.approx(1.0)
+
+    def test_inverse_mse_requires_validation(self):
+        x, y = sine_windows(n=200)
+        ens = EnsembleForecaster(members=[("mean", {})], weighting="inverse_mse")
+        with pytest.raises(ValueError, match="validation"):
+            ens.fit(x, y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleForecaster(members=[])
+        with pytest.raises(ValueError):
+            EnsembleForecaster(weighting="bogus")
+
+
+class TestHybrid:
+    def test_beats_or_matches_arima_alone(self, rng):
+        """On a linear+nonlinear+noise series the residual NN helps.
+
+        (On a noiseless sine ARIMA is already exact, so the comparison
+        needs a target with structure the linear model cannot express.)
+        """
+        from repro.data.windowing import make_windows
+        from repro.models import ARIMAForecaster
+        from repro.training.metrics import mse as mse_fn
+
+        t = np.linspace(0, 40, 600)
+        series = (
+            0.5
+            + 0.3 * np.sin(t)  # linear-representable part
+            + 0.15 * np.sign(np.sin(3 * t))  # square wave: nonlinear
+            + rng.normal(0, 0.02, 600)
+        )
+        x, y = make_windows(series[:, None], series, window=12)
+        hybrid = HybridARIMANNForecaster(
+            order=(2, 0, 0), nn_name="mlp",
+            nn_kwargs={"hidden": (32,), "epochs": 40, "seed": 0},
+        )
+        hybrid.fit(x[:350], y[:350], x[350:450], y[350:450])
+        arima = ARIMAForecaster(order=(2, 0, 0)).fit(x[:350], y[:350])
+        err_h = mse_fn(y[450:], hybrid.predict(x[450:]))
+        err_a = mse_fn(y[450:], arima.predict(x[450:]))
+        assert err_h < 1.1 * err_a  # residual learning must not hurt, and
+        # typically helps on the nonlinear component
+
+    def test_decomposition_structure(self):
+        x, y = sine_windows(n=300)
+        hybrid = HybridARIMANNForecaster(
+            order=(1, 0, 0), nn_name="mlp", nn_kwargs={"hidden": (8,), "epochs": 2},
+        )
+        hybrid.fit(x[:200], y[:200])
+        pred = hybrid.predict(x[200:210])
+        arima_part = hybrid._arima_part(x[200:210])
+        nn_part = hybrid.nn.predict(x[200:210])
+        np.testing.assert_allclose(pred, arima_part + nn_part)
+
+    def test_multistep_rejected(self):
+        with pytest.raises(ValueError):
+            HybridARIMANNForecaster(horizon=3)
+
+
+class TestClustered:
+    def _mixed_windows(self, rng):
+        """Two regimes with different dynamics in one dataset."""
+        from repro.data.windowing import make_windows
+
+        t = np.arange(400)
+        smooth = 0.5 + 0.3 * np.sin(t / 15.0)
+        noisy = np.clip(0.5 + rng.normal(0, 0.15, 400), 0, 1)
+        xs, ys = make_windows(smooth[:, None], smooth, window=10)
+        xn, yn = make_windows(noisy[:, None], noisy, window=10)
+        x = np.concatenate([xs, xn])
+        y = np.concatenate([ys, yn])
+        return x, y
+
+    def test_routes_and_predicts(self, rng):
+        x, y = self._mixed_windows(rng)
+        f = ClusteredForecaster(
+            k=2, member="xgboost", member_kwargs={"n_estimators": 20}, seed=1
+        )
+        f.fit(x, y)
+        assert len(f.models) >= 1
+        pred = f.predict(x[:50])
+        assert pred.shape == (50, 1)
+
+    def test_small_clusters_fall_back(self, rng):
+        x, y = self._mixed_windows(rng)
+        f = ClusteredForecaster(
+            k=2, member="mean", min_cluster_size=10**9, seed=1
+        )
+        f.fit(x, y)
+        assert len(f.models) == 0  # everything routes to the fallback
+        assert f.predict(x[:5]).shape == (5, 1)
+
+    def test_registered(self):
+        from repro.models import FORECASTER_REGISTRY
+
+        assert {"ensemble", "hybrid_arima_nn", "clustered"} <= set(FORECASTER_REGISTRY)

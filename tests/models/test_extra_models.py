@@ -1,0 +1,95 @@
+"""GRU / MLP / Holt forecaster tests."""
+
+import numpy as np
+import pytest
+
+from repro.models import GRUForecaster, HoltForecaster, MLPForecaster
+from repro.models.exponential import holt_linear, simple_exponential_smoothing
+
+from .test_deep_models import sine_windows
+
+
+class TestSES:
+    def test_constant_series_fixed_point(self):
+        levels = simple_exponential_smoothing(np.full(20, 5.0), alpha=0.3)
+        np.testing.assert_allclose(levels, 5.0)
+
+    def test_alpha_one_is_identity(self, rng):
+        x = rng.random(30)
+        np.testing.assert_allclose(simple_exponential_smoothing(x, 1.0), x)
+
+    def test_matches_recursion(self, rng):
+        x = rng.random(50)
+        alpha = 0.4
+        levels = simple_exponential_smoothing(x, alpha)
+        manual = np.empty_like(x)
+        manual[0] = x[0]
+        for t in range(1, len(x)):
+            manual[t] = alpha * x[t] + (1 - alpha) * manual[t - 1]
+        np.testing.assert_allclose(levels, manual)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simple_exponential_smoothing(np.zeros(5), 0.0)
+        with pytest.raises(ValueError):
+            simple_exponential_smoothing(np.zeros((2, 2)), 0.5)
+
+
+class TestHolt:
+    def test_tracks_linear_trend_exactly(self):
+        series = 1.0 + 0.5 * np.arange(50)
+        levels, trends = holt_linear(series, alpha=0.5, beta=0.5)
+        assert levels[-1] == pytest.approx(series[-1], abs=1e-6)
+        assert trends[-1] == pytest.approx(0.5, abs=1e-6)
+
+    def test_forecaster_extrapolates_trend(self):
+        t = np.arange(200.0)
+        series = 0.002 * t + 0.1
+        from repro.data.windowing import make_windows
+
+        x, y = make_windows(series[:, None], series, window=10, horizon=3)
+        f = HoltForecaster(horizon=3).fit(x[:100], y[:100])
+        pred = f.predict(x[100:110])
+        np.testing.assert_allclose(pred, y[100:110], atol=1e-6)
+
+    def test_grid_selects_high_alpha_for_noiseless(self):
+        series = np.sin(np.arange(300) / 10.0)
+        from repro.data.windowing import make_windows
+
+        x, y = make_windows(series[:, None], series, window=10)
+        f = HoltForecaster().fit(x, y)
+        assert f.alpha_ is not None and f.alpha_ >= 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            holt_linear(np.array([1.0]), 0.5, 0.5)
+        with pytest.raises(ValueError):
+            holt_linear(np.arange(10.0), 0.5, 1.5)
+
+
+class TestGRUAndMLP:
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (GRUForecaster, {"hidden": 12, "epochs": 25}),
+            (MLPForecaster, {"hidden": (32,), "epochs": 30}),
+        ],
+    )
+    def test_learns_sine(self, cls, kwargs):
+        x, y = sine_windows()
+        m = cls(seed=9, **kwargs)
+        m.fit(x[:250], y[:250], x[250:320], y[250:320])
+        pred = m.predict(x[320:])
+        truth = y[320:]
+        mse_model = np.mean((pred - truth) ** 2)
+        mse_const = np.mean((truth - y[:250].mean()) ** 2)
+        assert mse_model < 0.5 * mse_const
+
+    def test_registered(self):
+        from repro.models import FORECASTER_REGISTRY
+
+        assert {"gru", "mlp", "holt"} <= set(FORECASTER_REGISTRY)
+
+    def test_mlp_validation(self):
+        with pytest.raises(ValueError):
+            MLPForecaster(hidden=())

@@ -1,0 +1,189 @@
+"""Gradient-boosted-trees tests, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.gbt import (
+    GBTForecaster,
+    GradientBoostedTrees,
+    RegressionTree,
+    TreeParams,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRegressionTree:
+    def test_single_split_recovers_step_function(self, rng):
+        x = rng.random((200, 1))
+        y = np.where(x[:, 0] > 0.5, 1.0, -1.0)
+        g = 0.0 - y  # gradients of squared loss from pred=0
+        tree = RegressionTree(TreeParams(max_depth=1, reg_lambda=0.0)).fit(
+            x, g, np.ones(200)
+        )
+        pred = tree.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.99
+        assert tree.threshold[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_max_depth_respected(self, rng):
+        x = rng.random((300, 3))
+        g = rng.standard_normal(300)
+        for depth in (1, 2, 3):
+            tree = RegressionTree(TreeParams(max_depth=depth)).fit(x, g, np.ones(300))
+            assert tree.depth <= depth
+
+    def test_pure_node_becomes_leaf(self):
+        x = np.ones((10, 1))  # no split possible on a constant feature
+        g = np.arange(10.0)
+        tree = RegressionTree(TreeParams(max_depth=3)).fit(x, g, np.ones(10))
+        assert tree.n_nodes == 1
+
+    def test_leaf_weight_formula(self):
+        """Leaf value must be -G/(H+lambda)."""
+        x = np.ones((4, 1))
+        g = np.array([1.0, 2.0, 3.0, 4.0])
+        h = np.ones(4)
+        tree = RegressionTree(TreeParams(max_depth=2, reg_lambda=2.0)).fit(x, g, h)
+        assert tree.predict(x)[0] == pytest.approx(-10.0 / (4.0 + 2.0))
+
+    def test_min_child_weight_blocks_tiny_splits(self, rng):
+        x = rng.random((20, 1))
+        g = rng.standard_normal(20)
+        tree = RegressionTree(TreeParams(max_depth=5, min_child_weight=15.0)).fit(
+            x, g, np.ones(20)
+        )
+        assert tree.n_nodes == 1  # no split can give both children >= 15 weight
+
+    def test_gamma_prunes_weak_splits(self, rng):
+        x = rng.random((200, 1))
+        g = rng.normal(0, 0.01, 200)  # almost nothing to gain
+        tree = RegressionTree(TreeParams(max_depth=3, gamma=100.0)).fit(
+            x, g, np.ones(200)
+        )
+        assert tree.n_nodes == 1
+
+    def test_column_subset_respected(self, rng):
+        x = rng.random((300, 4))
+        y = 10.0 * x[:, 2]  # only feature 2 matters
+        g = -y
+        tree = RegressionTree(TreeParams(max_depth=2)).fit(
+            x, g, np.ones(300), feature_ids=np.array([0, 1])
+        )
+        used = {f for f in tree.feature if f != -1}
+        assert used <= {0, 1}
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RegressionTree(TreeParams(max_depth=0))
+        with pytest.raises(ValueError):
+            RegressionTree(TreeParams()).fit(rng.random((5, 2)), np.zeros(4), np.ones(4))
+
+
+class TestBoosting:
+    def test_fits_nonlinear_function(self, rng):
+        x = rng.random((600, 2))
+        y = np.sin(6 * x[:, 0]) + x[:, 1] ** 2
+        model = GradientBoostedTrees(n_estimators=120, learning_rate=0.2, max_depth=3)
+        model.fit(x, y)
+        mse = np.mean((model.predict(x) - y) ** 2)
+        assert mse < 0.01
+
+    def test_monotone_train_loss(self, rng):
+        """With full sampling, the staged training loss never increases."""
+        x = rng.random((300, 3))
+        y = x.sum(axis=1) + rng.normal(0, 0.05, 300)
+        model = GradientBoostedTrees(n_estimators=50, learning_rate=0.3)
+        model.fit(x, y)
+        losses = model.staged_train_loss(x, y)
+        diffs = np.diff(losses)
+        assert (diffs <= 1e-10).all()
+
+    def test_early_stopping_truncates(self, rng):
+        x = rng.random((300, 3))
+        y = rng.standard_normal(300)  # pure noise: validation stops improving fast
+        xv = rng.random((100, 3))
+        yv = rng.standard_normal(100)
+        model = GradientBoostedTrees(
+            n_estimators=300, learning_rate=0.3, early_stopping_rounds=5
+        )
+        model.fit(x, y, xv, yv)
+        assert len(model.trees) < 300
+        assert model.best_iteration_ == len(model.trees) - 1
+
+    def test_base_score_is_target_mean(self, rng):
+        x = rng.random((100, 2))
+        y = rng.random(100) + 5.0
+        model = GradientBoostedTrees(n_estimators=1).fit(x, y)
+        assert model.base_score_ == pytest.approx(y.mean())
+
+    def test_subsampling_reproducible(self, rng):
+        x = rng.random((200, 3))
+        y = x.sum(axis=1)
+        preds = []
+        for _ in range(2):
+            m = GradientBoostedTrees(n_estimators=20, subsample=0.7, colsample=0.7, seed=5)
+            m.fit(x, y)
+            preds.append(m.predict(x))
+        np.testing.assert_array_equal(preds[0], preds[1])
+
+    @given(st.floats(0.05, 1.0), st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_within_target_hull_property(self, lr, depth):
+        """Squared-loss GBT predictions stay inside [min(y), max(y)]...
+
+        ...up to overshoot bounded by the learning rate; with lr <= 1 and
+        mean base score the ensemble cannot leave the hull on training data
+        it has memorized, a standard sanity property for regression trees.
+        """
+        rng = np.random.default_rng(0)
+        x = rng.random((150, 2))
+        y = rng.random(150)
+        m = GradientBoostedTrees(n_estimators=30, learning_rate=lr, max_depth=depth)
+        m.fit(x, y)
+        pred = m.predict(x)
+        margin = 0.5 * (y.max() - y.min())
+        assert pred.min() >= y.min() - margin
+        assert pred.max() <= y.max() + margin
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=0.0)
+
+
+class TestForecasterWrapper:
+    def test_windowed_fit_predict(self, rng):
+        from repro.data.windowing import make_windows
+
+        t = np.linspace(0, 20, 500)
+        series = np.sin(t) * 0.5 + 0.5
+        x, y = make_windows(series[:, None], series, window=10)
+        f = GBTForecaster(n_estimators=60).fit(x[:300], y[:300], x[300:400], y[300:400])
+        pred = f.predict(x[400:])
+        mse = np.mean((pred - y[400:]) ** 2)
+        assert mse < 0.01  # sine continuation is easy for trees
+
+    def test_multistep_trains_one_model_per_step(self, rng):
+        from repro.data.windowing import make_windows
+
+        series = rng.random(300)
+        x, y = make_windows(series[:, None], series, window=8, horizon=3)
+        f = GBTForecaster(horizon=3, n_estimators=10).fit(x, y)
+        assert len(f.models) == 3
+        assert f.predict(x[:5]).shape == (5, 3)
+
+    def test_loss_curves_exposed(self, rng):
+        from repro.data.windowing import make_windows
+
+        series = rng.random(400)
+        x, y = make_windows(series[:, None], series, window=8)
+        f = GBTForecaster(n_estimators=15).fit(x[:200], y[:200], x[200:300], y[200:300])
+        assert len(f.loss_curves["val_loss"]) >= 1

@@ -1,0 +1,66 @@
+"""Grid-search tuning tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.tuning import grid_search
+
+
+@pytest.fixture
+def windows(rng):
+    from repro.data.windowing import make_windows
+
+    series = np.sin(np.linspace(0, 25, 350)) * 0.4 + 0.5
+    x, y = make_windows(series[:, None], series, window=10)
+    return x[:200], y[:200], x[200:260], y[200:260]
+
+
+class TestGridSearch:
+    def test_tries_every_combination(self, windows):
+        xt, yt, xv, yv = windows
+        res = grid_search(
+            "xgboost",
+            {"max_depth": [2, 3], "learning_rate": [0.1, 0.3]},
+            xt, yt, xv, yv,
+            fixed_kwargs={"n_estimators": 15},
+        )
+        assert len(res.trials) == 4
+        tried = {tuple(sorted(t.params.items())) for t in res.trials}
+        assert len(tried) == 4
+
+    def test_best_is_minimum_val_mse(self, windows):
+        xt, yt, xv, yv = windows
+        res = grid_search(
+            "xgboost", {"max_depth": [1, 4]}, xt, yt, xv, yv,
+            fixed_kwargs={"n_estimators": 20},
+        )
+        assert res.best.val_mse == min(t.val_mse for t in res.trials)
+        assert res.ranked()[0].val_mse <= res.ranked()[-1].val_mse
+
+    def test_records_fit_time(self, windows):
+        xt, yt, xv, yv = windows
+        res = grid_search(
+            "xgboost", {"max_depth": [2]}, xt, yt, xv, yv,
+            fixed_kwargs={"n_estimators": 10},
+        )
+        assert res.trials[0].fit_seconds > 0
+
+    def test_works_with_deep_model(self, windows):
+        xt, yt, xv, yv = windows
+        res = grid_search(
+            "rptcn", {"fc_units": [8, 16]}, xt, yt, xv, yv,
+            fixed_kwargs={"epochs": 2, "channels": (4, 4), "seed": 0},
+        )
+        assert len(res.trials) == 2
+        assert all(t.val_mse > 0 for t in res.trials)
+
+    def test_empty_grid_rejected(self, windows):
+        xt, yt, xv, yv = windows
+        with pytest.raises(ValueError):
+            grid_search("xgboost", {}, xt, yt, xv, yv)
+
+    def test_best_on_empty_result(self):
+        from repro.models.tuning import GridSearchResult
+
+        with pytest.raises(RuntimeError):
+            GridSearchResult().best

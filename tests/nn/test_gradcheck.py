@@ -1,0 +1,211 @@
+"""Finite-difference gradient checks for every differentiable op and layer.
+
+These are the load-bearing tests of the nn substrate: if backward rules
+are right, training correctness reduces to optimizer arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    GRU,
+    LSTM,
+    BahdanauAttention,
+    BatchNorm1d,
+    CausalConv1d,
+    FeatureAttention,
+    LayerNorm,
+    LuongAttention,
+    TemporalAttention,
+    WeightNormConv1d,
+)
+from repro.nn.tensor import Tensor
+
+from ..conftest import check_gradients
+
+
+def leaf(rng, *shape) -> Tensor:
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestElementwiseGrads:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda x: x.exp(),
+            lambda x: x.tanh(),
+            lambda x: x.sigmoid(),
+            lambda x: x.relu(),
+            lambda x: x.abs(),
+            lambda x: x.sqrt().sum() + x.log(),  # positive-domain combo
+            lambda x: x**3,
+            lambda x: x.clip(-0.5, 0.5),
+        ],
+    )
+    def test_unary(self, rng, op):
+        x = Tensor(rng.random((3, 4)) + 0.5, requires_grad=True)  # keep positive
+        check_gradients(lambda: op(Tensor.ensure(x)).sum(), [x])
+
+    def test_binary_broadcast(self, rng):
+        a = leaf(rng, 2, 3)
+        b = leaf(rng, 3)
+        check_gradients(lambda: (a * b + a / (b.abs() + 2.0) - b).sum(), [a, b])
+
+    def test_where(self, rng):
+        a = leaf(rng, 4)
+        b = leaf(rng, 4)
+        cond = np.array([True, False, True, False])
+        check_gradients(lambda: (Tensor.where(cond, a * 2.0, b * 3.0) ** 2).sum(), [a, b])
+
+
+class TestMatmulGrads:
+    def test_2d_2d(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 4, 2)
+        check_gradients(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_batched(self, rng):
+        a, b = leaf(rng, 2, 3, 4), leaf(rng, 2, 4, 2)
+        check_gradients(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_batched_broadcast(self, rng):
+        a, b = leaf(rng, 2, 3, 4), leaf(rng, 4, 2)
+        check_gradients(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_1d_1d(self, rng):
+        a, b = leaf(rng, 5), leaf(rng, 5)
+        check_gradients(lambda: (a @ b) * 2.0, [a, b])
+
+    def test_1d_2d(self, rng):
+        a, b = leaf(rng, 3), leaf(rng, 3, 4)
+        check_gradients(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_2d_1d(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 4)
+        check_gradients(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+
+class TestReductionGrads:
+    @pytest.mark.parametrize("axis", [None, 0, 1, (0, 1)])
+    def test_sum(self, rng, axis):
+        x = leaf(rng, 3, 4)
+        check_gradients(lambda: (x.sum(axis=axis) ** 2).sum(), [x])
+
+    @pytest.mark.parametrize("keepdims", [True, False])
+    def test_mean(self, rng, keepdims):
+        x = leaf(rng, 2, 5)
+        check_gradients(lambda: (x.mean(axis=1, keepdims=keepdims) ** 2).sum(), [x])
+
+    def test_var(self, rng):
+        x = leaf(rng, 4, 3)
+        check_gradients(lambda: x.var(axis=0).sum(), [x])
+
+    def test_max(self, rng):
+        # distinct values so finite differences don't straddle ties
+        x = Tensor(rng.permutation(12.0 * np.arange(12)).reshape(3, 4), requires_grad=True)
+        check_gradients(lambda: (x.max(axis=0) ** 2).sum(), [x])
+
+    def test_min(self, rng):
+        x = Tensor(rng.permutation(7.0 * np.arange(8)).reshape(2, 4), requires_grad=True)
+        check_gradients(lambda: x.min(axis=1).sum(), [x])
+
+
+class TestFunctionalGrads:
+    def test_softmax(self, rng):
+        x = leaf(rng, 3, 5)
+        w = rng.standard_normal((3, 5))
+        check_gradients(lambda: (F.softmax(Tensor.ensure(x), axis=-1) * w).sum(), [x])
+
+    def test_log_softmax(self, rng):
+        x = leaf(rng, 2, 4)
+        w = rng.standard_normal((2, 4))
+        check_gradients(lambda: (F.log_softmax(Tensor.ensure(x), axis=-1) * w).sum(), [x])
+
+    @pytest.mark.parametrize("dilation,padding", [(1, 0), (2, (4, 0)), (1, 1), (3, (6, 0))])
+    def test_conv1d(self, rng, dilation, padding):
+        x = leaf(rng, 2, 3, 12)
+        w = leaf(rng, 4, 3, 3)
+        b = leaf(rng, 4)
+        check_gradients(
+            lambda: (F.conv1d(x, w, b, padding=padding, dilation=dilation) ** 2).sum(),
+            [x, w, b],
+        )
+
+    def test_conv1d_stride(self, rng):
+        x = leaf(rng, 1, 2, 10)
+        w = leaf(rng, 3, 2, 3)
+        check_gradients(lambda: (F.conv1d(x, w, stride=2) ** 2).sum(), [x, w])
+
+    def test_max_pool1d(self, rng):
+        x = Tensor(rng.permutation(24.0 * np.arange(24)).reshape(1, 2, 12), requires_grad=True)
+        check_gradients(lambda: (F.max_pool1d(x, 3) ** 2).sum(), [x])
+
+    def test_avg_pool1d(self, rng):
+        x = leaf(rng, 2, 3, 8)
+        check_gradients(lambda: (F.avg_pool1d(x, 2) ** 2).sum(), [x])
+
+
+class TestLayerGrads:
+    def test_weight_norm_conv(self, rng):
+        layer = WeightNormConv1d(2, 3, 3, dilation=2, rng=rng)
+        x = leaf(rng, 2, 2, 9)
+        params = [layer.v, layer.g, layer.bias, x]
+        check_gradients(lambda: (layer(x) ** 2).sum(), params)
+
+    def test_layer_norm(self, rng):
+        layer = LayerNorm(6)
+        x = leaf(rng, 3, 6)
+        check_gradients(lambda: (layer(x) ** 2).sum(), [x, layer.gamma, layer.beta])
+
+    def test_batch_norm_train_mode(self, rng):
+        layer = BatchNorm1d(4)
+        x = leaf(rng, 5, 4)
+
+        def loss():
+            # freeze running stats side effects out of the probe
+            layer.running_mean = np.zeros(4)
+            layer.running_var = np.ones(4)
+            return (layer(x) ** 2).sum()
+
+        check_gradients(loss, [x, layer.gamma, layer.beta])
+
+    def test_feature_attention(self, rng):
+        layer = FeatureAttention(5, rng=rng)
+        x = leaf(rng, 3, 5)
+        check_gradients(
+            lambda: (layer(x) ** 2).sum(), [x, layer.score.weight, layer.score.bias]
+        )
+
+    def test_temporal_attention(self, rng):
+        layer = TemporalAttention(4, hidden=3, rng=rng)
+        x = leaf(rng, 2, 6, 4)
+        check_gradients(lambda: (layer(x) ** 2).sum(), [x, layer.proj.weight])
+
+    def test_bahdanau_attention(self, rng):
+        layer = BahdanauAttention(4, 3, hidden=5, rng=rng)
+        keys = leaf(rng, 2, 6, 4)
+        query = leaf(rng, 2, 3)
+        check_gradients(lambda: (layer(keys, query) ** 2).sum(), [keys, query])
+
+    def test_luong_attention_general(self, rng):
+        layer = LuongAttention(4, 3, mode="general", rng=rng)
+        keys = leaf(rng, 2, 5, 4)
+        query = leaf(rng, 2, 3)
+        check_gradients(lambda: (layer(keys, query) ** 2).sum(), [keys, query])
+
+    def test_causal_conv_layer(self, rng):
+        layer = CausalConv1d(2, 2, 3, dilation=2, rng=rng)
+        x = leaf(rng, 1, 2, 10)
+        check_gradients(lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias])
+
+    def test_lstm_through_time(self, rng):
+        layer = LSTM(2, 3, rng=rng)
+        x = leaf(rng, 2, 4, 2)
+        params = [x] + list(layer.parameters())
+        check_gradients(lambda: (layer(x) ** 2).sum(), params, atol=1e-4)
+
+    def test_gru_through_time(self, rng):
+        layer = GRU(2, 3, rng=rng)
+        x = leaf(rng, 2, 4, 2)
+        params = [x] + list(layer.parameters())
+        check_gradients(lambda: (layer(x) ** 2).sum(), params, atol=1e-4)

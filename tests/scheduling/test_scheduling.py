@@ -1,0 +1,169 @@
+"""Job model, packing policies and schedule-replay tests."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    FirstFitScheduler,
+    Job,
+    JobGenerator,
+    OraclePackingScheduler,
+    PredictivePackingScheduler,
+    RequestPackingScheduler,
+    simulate_schedule,
+)
+
+
+def make_job(jid="j", request=0.5, usage=None, duration=20):
+    usage = usage if usage is not None else np.full(duration, 0.2)
+    return Job(job_id=jid, request=request, usage=usage)
+
+
+class TestJob:
+    def test_properties(self):
+        j = make_job(usage=np.array([0.1, 0.3, 0.2]))
+        assert j.duration == 3
+        assert j.peak_usage == pytest.approx(0.3)
+        assert j.mean_usage == pytest.approx(0.2)
+        assert j.slack == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_job(request=0.0)
+        with pytest.raises(ValueError):
+            make_job(request=1.5)
+        with pytest.raises(ValueError):
+            Job("j", 0.5, np.array([]))
+        with pytest.raises(ValueError):
+            Job("j", 0.5, np.array([-0.1, 0.2]))
+
+
+class TestJobGenerator:
+    def test_generates_requested_count(self):
+        jobs = JobGenerator(duration=100, seed=1).generate(25)
+        assert len(jobs) == 25
+        assert all(j.duration == 100 for j in jobs)
+
+    def test_requests_inflate_peaks(self):
+        jobs = JobGenerator(duration=200, seed=2,
+                            request_inflation=(1.5, 1.5)).generate(30)
+        for j in jobs:
+            assert j.request >= min(1.0, j.peak_usage * 1.5) - 1e-9
+
+    def test_slack_exists(self):
+        """The Alibaba gap: mean usage well below request."""
+        jobs = JobGenerator(duration=300, seed=3).generate(40)
+        assert np.mean([j.slack for j in jobs]) > 0.02
+
+    def test_deterministic(self):
+        a = JobGenerator(duration=50, seed=4).generate(5)
+        b = JobGenerator(duration=50, seed=4).generate(5)
+        for ja, jb in zip(a, b):
+            np.testing.assert_array_equal(ja.usage, jb.usage)
+            assert ja.request == jb.request
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobGenerator(mix={"bogus": 1.0})
+        with pytest.raises(ValueError):
+            JobGenerator(mix={})
+
+
+class TestPlacement:
+    def test_first_fit_decreasing_packs_tightly(self):
+        # footprints 0.6, 0.4, 0.4, 0.3, 0.3 pack into 2 unit machines
+        jobs = [make_job(f"j{i}", request=r)
+                for i, r in enumerate([0.4, 0.6, 0.3, 0.4, 0.3])]
+        assignment = RequestPackingScheduler().place(jobs)
+        assert max(assignment.values()) + 1 == 2
+
+    def test_respects_capacity(self):
+        jobs = [make_job(f"j{i}", request=0.6) for i in range(4)]
+        assignment = RequestPackingScheduler().place(jobs)
+        # 0.6 + 0.6 > 1: every job gets its own machine
+        assert max(assignment.values()) + 1 == 4
+
+    def test_custom_capacity(self):
+        jobs = [make_job(f"j{i}", request=0.6) for i in range(4)]
+        assignment = RequestPackingScheduler().place(jobs, capacity=2.0)
+        assert max(assignment.values()) + 1 == 2
+
+    def test_oversized_footprint_clamped(self):
+        sched = FirstFitScheduler(lambda j: 5.0, name="huge")
+        assignment = sched.place([make_job("a"), make_job("b")])
+        assert len(assignment) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RequestPackingScheduler().place([make_job()], capacity=0.0)
+
+
+class TestFootprints:
+    def test_request_scheduler_charges_request(self):
+        assert RequestPackingScheduler().footprint(make_job(request=0.7)) == 0.7
+
+    def test_oracle_charges_peak_plus_margin(self):
+        j = make_job(usage=np.array([0.1, 0.4, 0.2]))
+        assert OraclePackingScheduler(margin=0.1).footprint(j) == pytest.approx(0.5)
+
+    def test_predictive_uses_probe_quantile(self):
+        usage = np.concatenate([np.full(50, 0.2), np.full(50, 0.8)])
+        j = Job("j", 1.0, usage)
+        sched = PredictivePackingScheduler(probe_len=50, margin=0.0, quantile=0.95)
+        # probe only sees the low phase
+        assert sched.footprint(j) == pytest.approx(0.2, abs=0.01)
+
+    def test_predictive_custom_fn(self):
+        sched = PredictivePackingScheduler(predict_fn=lambda probe: 0.42, margin=0.0)
+        assert sched.footprint(make_job()) == pytest.approx(0.42)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictivePackingScheduler(probe_len=0)
+        with pytest.raises(ValueError):
+            PredictivePackingScheduler(margin=-0.1)
+        with pytest.raises(ValueError):
+            OraclePackingScheduler(margin=-1.0)
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        return JobGenerator(duration=300, seed=7,
+                            usage_scale=(0.1, 0.4)).generate(40)
+
+    def test_request_packing_never_overloads(self, jobs):
+        report = simulate_schedule(RequestPackingScheduler(), jobs)
+        assert report.overload_rate == 0.0
+        assert report.n_jobs == 40
+
+    def test_consolidation_ordering(self, jobs):
+        """oracle <= predictive <= request in machine count."""
+        request = simulate_schedule(RequestPackingScheduler(), jobs)
+        predictive = simulate_schedule(
+            PredictivePackingScheduler(probe_len=60, margin=0.05), jobs
+        )
+        oracle = simulate_schedule(OraclePackingScheduler(margin=0.05), jobs)
+        assert oracle.n_machines <= request.n_machines
+        assert predictive.n_machines <= request.n_machines
+        assert predictive.efficiency() >= request.efficiency()
+
+    def test_predictive_utilization_higher(self, jobs):
+        request = simulate_schedule(RequestPackingScheduler(), jobs)
+        predictive = simulate_schedule(
+            PredictivePackingScheduler(probe_len=60, margin=0.05), jobs
+        )
+        assert predictive.mean_utilization > request.mean_utilization
+
+    def test_overload_bounded_with_margin(self, jobs):
+        predictive = simulate_schedule(
+            PredictivePackingScheduler(probe_len=60, margin=0.1), jobs
+        )
+        assert predictive.overload_rate < 0.2
+
+    def test_replay_validation(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(RequestPackingScheduler(), [])
+        mixed = [make_job("a", duration=10), make_job("b", duration=20)]
+        with pytest.raises(ValueError):
+            simulate_schedule(RequestPackingScheduler(), mixed)

@@ -1,0 +1,43 @@
+"""Hypothesis property tests on the ring buffer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming import RollingBuffer
+
+
+class TestBufferProperties:
+    @given(
+        st.integers(1, 16),
+        st.lists(st.floats(-100, 100, allow_nan=False, width=64), min_size=0, max_size=80),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_view_equals_tail_of_stream(self, capacity, stream):
+        """After any append sequence, view() is the last ``capacity`` items."""
+        buf = RollingBuffer(capacity, 1)
+        for v in stream:
+            buf.append(np.array([v]))
+        expected = np.asarray(stream[-capacity:], float)
+        np.testing.assert_array_equal(buf.view()[:, 0], expected)
+
+    @given(st.integers(1, 10), st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_size_never_exceeds_capacity(self, capacity, n):
+        buf = RollingBuffer(capacity, 2)
+        for i in range(n):
+            buf.append(np.array([float(i), float(i)]))
+        assert len(buf) == min(n, capacity)
+        assert buf.full == (n >= capacity)
+
+    @given(
+        st.integers(2, 12),
+        st.lists(st.floats(-10, 10, allow_nan=False, width=64), min_size=3, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_last_is_suffix_of_view(self, capacity, stream):
+        buf = RollingBuffer(capacity, 1)
+        for v in stream:
+            buf.append(np.array([v]))
+        n = min(2, len(buf))
+        np.testing.assert_array_equal(buf.last(n), buf.view()[-n:])

@@ -1,0 +1,101 @@
+"""Corruption injection and CSV round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.traces.corruption import CorruptionConfig, corrupt_entity, corrupt_trace
+from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+from repro.traces.io import read_trace_csv, write_trace_csv
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return ClusterTraceGenerator(
+        TraceConfig(n_machines=2, containers_per_machine=2, n_steps=600, seed=9)
+    ).generate()
+
+
+class TestCorruption:
+    def test_missing_rates_approximate_config(self, trace):
+        cfg = CorruptionConfig(missing_cell_rate=0.05, missing_row_rate=0.0, seed=1)
+        rng = np.random.default_rng(1)
+        out = corrupt_entity(trace.containers[0], cfg, rng)
+        nan_frac = np.isnan(out.values).mean()
+        assert 0.02 < nan_frac < 0.10
+
+    def test_missing_rows(self, trace):
+        cfg = CorruptionConfig(missing_cell_rate=0.0, missing_row_rate=0.05, seed=2)
+        rng = np.random.default_rng(2)
+        out = corrupt_entity(trace.containers[0], cfg, rng)
+        all_nan_rows = np.isnan(out.values).all(axis=1)
+        assert 0.01 < all_nan_rows.mean() < 0.12
+
+    def test_duplicates_extend_length(self, trace):
+        cfg = CorruptionConfig(duplicate_rate=0.05, missing_cell_rate=0.0,
+                               missing_row_rate=0.0, outlier_rate=0.0, seed=3)
+        rng = np.random.default_rng(3)
+        out = corrupt_entity(trace.containers[0], cfg, rng)
+        assert len(out) > len(trace.containers[0])
+        # duplicated timestamps exist
+        assert len(np.unique(out.timestamps)) < len(out.timestamps)
+
+    def test_outliers_exceed_original_range(self, trace):
+        cfg = CorruptionConfig(outlier_rate=0.02, outlier_scale=5.0,
+                               missing_cell_rate=0.0, missing_row_rate=0.0,
+                               duplicate_rate=0.0, seed=4)
+        rng = np.random.default_rng(4)
+        orig = trace.containers[0]
+        out = corrupt_entity(orig, cfg, rng)
+        assert np.nanmax(out.values) > np.nanmax(orig.values)
+
+    def test_original_untouched(self, trace):
+        orig = trace.containers[0].values.copy()
+        corrupt_trace(trace, CorruptionConfig(seed=5))
+        np.testing.assert_array_equal(trace.containers[0].values, orig)
+
+    def test_deterministic(self, trace):
+        a = corrupt_trace(trace, CorruptionConfig(seed=6))
+        b = corrupt_trace(trace, CorruptionConfig(seed=6))
+        np.testing.assert_array_equal(a.containers[0].values, b.containers[0].values)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CorruptionConfig(missing_cell_rate=1.5)
+        with pytest.raises(ValueError):
+            CorruptionConfig(outlier_scale=0.5)
+
+
+class TestIO:
+    def test_roundtrip_values(self, trace, tmp_path):
+        write_trace_csv(trace, tmp_path)
+        back = read_trace_csv(tmp_path)
+        assert back.n_machines == trace.n_machines
+        assert back.n_containers == trace.n_containers
+        for orig in trace.containers:
+            loaded = back.get(orig.entity_id)
+            np.testing.assert_allclose(loaded.values, orig.values, rtol=1e-4, atol=1e-4)
+            np.testing.assert_array_equal(loaded.timestamps, orig.timestamps)
+            assert loaded.machine_id == orig.machine_id
+
+    def test_roundtrip_preserves_nans(self, trace, tmp_path):
+        corrupted = corrupt_trace(trace, CorruptionConfig(missing_cell_rate=0.05, seed=8))
+        write_trace_csv(corrupted, tmp_path)
+        back = read_trace_csv(tmp_path)
+        orig = corrupted.containers[0]
+        loaded = back.get(orig.entity_id)
+        np.testing.assert_array_equal(np.isnan(loaded.values), np.isnan(orig.values))
+
+    def test_malformed_rows_rejected(self, tmp_path):
+        (tmp_path / "machine_usage.csv").write_text("m_1,0,1,2\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_trace_csv(tmp_path)
+
+    def test_headerless_accepted(self, trace, tmp_path):
+        write_trace_csv(trace, tmp_path)
+        # strip the header to simulate the raw v2018 format
+        path = tmp_path / "machine_usage.csv"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]) + "\n")
+        (tmp_path / "container_usage.csv").unlink()
+        back = read_trace_csv(tmp_path)
+        assert back.n_machines == trace.n_machines

@@ -1,0 +1,116 @@
+"""Generator calibration tests: schema, correlations, cluster statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.generator import ClusterTraceGenerator, TraceConfig
+from repro.traces.schema import INDICATORS, indicator_names
+
+
+@pytest.fixture(scope="module")
+def trace():
+    cfg = TraceConfig(n_machines=6, containers_per_machine=3, n_steps=2500, seed=11)
+    return ClusterTraceGenerator(cfg).generate()
+
+
+class TestStructure:
+    def test_counts(self, trace):
+        assert trace.n_machines == 6
+        assert trace.n_containers == 18
+
+    def test_container_host_links(self, trace):
+        machine_ids = {m.entity_id for m in trace.machines}
+        assert all(c.machine_id in machine_ids for c in trace.containers)
+
+    def test_timestamps_regular(self, trace):
+        for e in trace:
+            assert (np.diff(e.timestamps) == trace.interval_seconds).all()
+
+    def test_value_ranges(self, trace):
+        for e in trace:
+            for i, ind in enumerate(INDICATORS):
+                col = e.values[:, i]
+                assert col.min() >= ind.lo - 1e-9, f"{e.entity_id}.{ind.name} below lo"
+                assert col.max() <= ind.hi + 1e-9, f"{e.entity_id}.{ind.name} above hi"
+
+    def test_deterministic(self):
+        cfg = TraceConfig(n_machines=2, containers_per_machine=1, n_steps=300, seed=5)
+        a = ClusterTraceGenerator(cfg).generate()
+        b = ClusterTraceGenerator(cfg).generate()
+        np.testing.assert_array_equal(a.machines[0].values, b.machines[0].values)
+        np.testing.assert_array_equal(a.containers[0].values, b.containers[0].values)
+
+    def test_workload_provenance_recorded(self, trace):
+        assert all(c.workload in
+                   ("regime_switching", "bursty", "spiky_batch", "periodic", "ramp")
+                   for c in trace.containers)
+
+
+class TestCorrelationCalibration:
+    """The paper's Fig. 7 finding: top CPU correlates are mpki, cpi, mem_gps."""
+
+    def test_microarch_indicators_rank_top(self, trace):
+        names = indicator_names()
+        cpu_idx = names.index("cpu_util_percent")
+        strong = {"mpki", "cpi", "mem_gps"}
+        weak = {"net_in", "net_out", "disk_io_percent"}
+        wins = 0
+        for c in trace.containers:
+            corr = np.corrcoef(c.values.T)[cpu_idx]
+            strongest_weak = max(abs(corr[names.index(w)]) for w in weak)
+            weakest_strong = min(abs(corr[names.index(s)]) for s in strong)
+            wins += weakest_strong > strongest_weak
+        # the ordering must hold for the vast majority of containers
+        assert wins >= 0.8 * trace.n_containers
+
+    def test_disk_io_weakly_correlated(self, trace):
+        names = indicator_names()
+        cpu_idx, disk_idx = names.index("cpu_util_percent"), names.index("disk_io_percent")
+        corrs = [np.corrcoef(c.values.T)[cpu_idx, disk_idx] for c in trace.containers]
+        assert np.median(np.abs(corrs)) < 0.5
+
+
+class TestClusterCalibration:
+    """§II statistics: 40-60% band, machines mostly below 50% CPU."""
+
+    def test_machine_mean_cpu_in_band(self, trace):
+        mean = trace.machine_cpu_matrix().mean()
+        assert 30.0 < mean < 60.0
+
+    def test_most_machines_below_50(self, trace):
+        cpu = trace.machine_cpu_matrix()
+        frac_below = (cpu < 50.0).mean(axis=1)
+        assert (frac_below > 0.5).mean() >= 0.6
+
+    def test_machines_smoother_than_containers(self, trace):
+        def dynamism(e):
+            return np.abs(np.diff(e.cpu)).mean()
+
+        m_dyn = np.mean([dynamism(m) for m in trace.machines])
+        c_dyn = np.mean([dynamism(c) for c in trace.containers])
+        assert m_dyn < c_dyn
+
+
+class TestGenerateEntity:
+    def test_archetype_and_metadata(self):
+        gen = ClusterTraceGenerator(TraceConfig(n_steps=400))
+        e = gen.generate_entity("mutation", entity_id="m_x", kind="machine", jump_at=0.5)
+        assert e.entity_id == "m_x"
+        assert e.kind == "machine"
+        assert e.workload == "mutation"
+        assert len(e) == 400
+
+    def test_unknown_archetype(self):
+        gen = ClusterTraceGenerator(TraceConfig(n_steps=400))
+        with pytest.raises(KeyError, match="unknown archetype"):
+            gen.generate_entity("nope")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(n_machines=0)
+        with pytest.raises(ValueError):
+            TraceConfig(n_steps=4)
+        with pytest.raises(ValueError):
+            TraceConfig(container_mix={"bogus": 1.0})
+        with pytest.raises(ValueError):
+            TraceConfig(container_mix={})

@@ -1,0 +1,50 @@
+"""Hypothesis property tests on the indicator coupling model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.traces.generator import ClusterTraceGenerator
+from repro.traces.schema import INDICATORS
+
+loads = arrays(
+    np.float64,
+    st.integers(32, 300),
+    elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+)
+
+
+class TestCouplingProperties:
+    @given(loads, st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_indicators_within_schema_bounds(self, load, seed):
+        rng = np.random.default_rng(seed)
+        values = ClusterTraceGenerator.indicators_from_load(load, rng)
+        assert values.shape == (len(load), len(INDICATORS))
+        for i, ind in enumerate(INDICATORS):
+            col = values[:, i]
+            assert col.min() >= ind.lo - 1e-9
+            assert col.max() <= ind.hi + 1e-9
+            assert np.isfinite(col).all()
+
+    @given(loads, st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_cpu_tracks_latent_load(self, load, seed):
+        """The CPU column follows the latent load closely (small noise)."""
+        rng = np.random.default_rng(seed)
+        values = ClusterTraceGenerator.indicators_from_load(load, rng)
+        cpu = values[:, 0] / 100.0
+        # interior of the range: clipping-free comparison
+        interior = (load > 0.1) & (load < 0.9)
+        if interior.sum() >= 8:
+            err = np.abs(cpu[interior] - load[interior])
+            assert err.mean() < 0.05
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_per_seed(self, seed):
+        load = np.linspace(0, 1, 64)
+        a = ClusterTraceGenerator.indicators_from_load(load, np.random.default_rng(seed))
+        b = ClusterTraceGenerator.indicators_from_load(load, np.random.default_rng(seed))
+        np.testing.assert_array_equal(a, b)

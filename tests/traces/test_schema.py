@@ -1,0 +1,97 @@
+"""Table I schema and trace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.traces.schema import (
+    CONTAINER_COLUMNS,
+    INDICATORS,
+    MACHINE_COLUMNS,
+    ClusterTrace,
+    EntityTrace,
+    indicator_names,
+)
+
+
+class TestIndicators:
+    def test_count_and_order_match_table1(self):
+        assert indicator_names() == [
+            "cpu_util_percent",
+            "mem_util_percent",
+            "cpi",
+            "mem_gps",
+            "mpki",
+            "net_in",
+            "net_out",
+            "disk_io_percent",
+        ]
+
+    def test_meanings_present(self):
+        for ind in INDICATORS:
+            assert ind.meaning
+            assert ind.hi > ind.lo
+
+    def test_column_layouts(self):
+        assert MACHINE_COLUMNS[:2] == ("machine_id", "time_stamp")
+        assert CONTAINER_COLUMNS[:3] == ("container_id", "machine_id", "time_stamp")
+        assert MACHINE_COLUMNS[2:] == tuple(indicator_names())
+
+
+def make_entity(t=10, kind="machine", **kw) -> EntityTrace:
+    return EntityTrace(
+        entity_id="e_1",
+        kind=kind,
+        timestamps=np.arange(t) * 10,
+        values=np.random.default_rng(0).random((t, len(INDICATORS))),
+        **kw,
+    )
+
+
+class TestEntityTrace:
+    def test_len(self):
+        assert len(make_entity(7)) == 7
+
+    def test_indicator_view_not_copy(self):
+        e = make_entity()
+        col = e.indicator("cpu_util_percent")
+        col[0] = 42.0
+        assert e.values[0, 0] == 42.0
+
+    def test_unknown_indicator_raises(self):
+        with pytest.raises(KeyError, match="unknown indicator"):
+            make_entity().indicator("bogus")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="values must be"):
+            EntityTrace("x", "machine", np.arange(3), np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="length mismatch"):
+            EntityTrace("x", "machine", np.arange(3), np.zeros((4, len(INDICATORS))))
+
+    def test_complete_mask(self):
+        e = make_entity(5)
+        e.values[2, 3] = np.nan
+        mask = e.complete_mask()
+        assert mask.tolist() == [True, True, False, True, True]
+
+    def test_to_frame(self):
+        frame = make_entity(4).to_frame()
+        assert set(frame) == {"time_stamp", *indicator_names()}
+        assert len(frame["cpi"]) == 4
+
+
+class TestClusterTrace:
+    def test_iter_and_get(self):
+        m = make_entity(kind="machine")
+        trace = ClusterTrace(machines=[m])
+        assert list(trace) == [m]
+        assert trace.get("e_1") is m
+        with pytest.raises(KeyError):
+            trace.get("nope")
+
+    def test_machine_cpu_matrix(self):
+        trace = ClusterTrace(machines=[make_entity(6), make_entity(6)])
+        assert trace.machine_cpu_matrix().shape == (2, 6)
+
+    def test_empty_matrix_raises(self):
+        with pytest.raises(ValueError):
+            ClusterTrace().machine_cpu_matrix()

@@ -1,0 +1,96 @@
+"""Workload-archetype properties: ranges, shapes, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.workloads import (
+    WORKLOAD_ARCHETYPES,
+    ar1_noise,
+    bursty_load,
+    mutation_load,
+    periodic_load,
+    ramp_load,
+    regime_switching_load,
+    spiky_batch_load,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestAR1:
+    def test_zero_mean_unit_variance(self, rng):
+        x = ar1_noise(200_000, rng, phi=0.9, sigma=1.0)
+        assert abs(x.mean()) < 0.05
+        assert x.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_autocorrelation_matches_phi(self, rng):
+        phi = 0.8
+        x = ar1_noise(100_000, rng, phi=phi)
+        r1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r1 == pytest.approx(phi, abs=0.03)
+
+    def test_nonstationary_phi_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ar1_noise(100, rng, phi=1.0)
+
+
+class TestArchetypes:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_ARCHETYPES))
+    def test_bounded_in_unit_interval(self, rng, name):
+        load = WORKLOAD_ARCHETYPES[name](3000, rng)
+        assert load.shape == (3000,)
+        assert load.min() >= 0.0 and load.max() <= 1.0
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_ARCHETYPES))
+    def test_deterministic_given_seed(self, name):
+        a = WORKLOAD_ARCHETYPES[name](500, np.random.default_rng(7))
+        b = WORKLOAD_ARCHETYPES[name](500, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_periodic_has_dominant_period(self, rng):
+        period = 500
+        load = periodic_load(4000, rng, period=period, noise=0.01)
+        detrended = load - load.mean()
+        spectrum = np.abs(np.fft.rfft(detrended))
+        spectrum[0] = 0.0
+        freqs = np.fft.rfftfreq(len(load))
+        dominant = 1.0 / freqs[np.argmax(spectrum)]
+        assert dominant == pytest.approx(period, rel=0.2)
+
+    def test_bursty_spends_most_time_near_base(self, rng):
+        load = bursty_load(20_000, rng, base=0.25, burst_rate=0.005)
+        assert np.median(load) < 0.4
+
+    def test_regime_switching_has_plateaus(self, rng):
+        load = regime_switching_load(5000, rng, noise=0.01)
+        # step sizes are tiny within regimes, big at switches
+        steps = np.abs(np.diff(load))
+        assert (steps < 0.05).mean() > 0.9  # mostly flat
+        assert steps.max() > 0.2  # but with abrupt jumps
+
+    def test_regime_switching_needs_two_levels(self, rng):
+        with pytest.raises(ValueError):
+            regime_switching_load(100, rng, levels=(0.5,))
+
+    def test_ramp_trends_upward(self, rng):
+        load = ramp_load(2000, rng, start=0.1, end=0.8, noise=0.02)
+        assert load[-200:].mean() > load[:200].mean() + 0.4
+
+    def test_spiky_batch_mostly_idle(self, rng):
+        load = spiky_batch_load(10_000, rng, idle=0.08, spike_rate=0.01)
+        assert np.median(load) < 0.2
+        assert load.max() > 0.5
+
+    def test_mutation_jump_position_and_levels(self, rng):
+        n, jump_at = 1000, 0.7
+        load = mutation_load(n, rng, low=0.2, high=0.8, jump_at=jump_at, noise=0.02)
+        k = int(n * jump_at)
+        assert load[:k].mean() == pytest.approx(0.2, abs=0.05)
+        assert load[k + 10 :].mean() == pytest.approx(0.8, abs=0.05)
+
+    def test_mutation_jump_validation(self, rng):
+        with pytest.raises(ValueError):
+            mutation_load(100, rng, jump_at=1.5)

@@ -1,0 +1,143 @@
+"""Trainer loop and callback tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential, Tanh
+from repro.nn.losses import MSELoss
+from repro.nn.optim import Adam
+from repro.training.callbacks import (
+    CSVLogger,
+    EarlyStopping,
+    History,
+    LambdaCallback,
+    ModelCheckpoint,
+)
+from repro.training.trainer import Trainer
+
+
+@pytest.fixture
+def problem(rng):
+    """A learnable regression problem: y = 0.5 x0 - 0.3 x1."""
+    x = rng.random((200, 2))
+    y = (x @ np.array([0.5, -0.3]))[:, None]
+    return x[:140], y[:140], x[140:], y[140:]
+
+
+def make_trainer(rng, lr=0.05):
+    model = Sequential(Linear(2, 8, rng=rng), Tanh(), Linear(8, 1, rng=rng))
+    return Trainer(model, Adam(model.parameters(), lr=lr), MSELoss(), rng=rng)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng, problem):
+        xt, yt, xv, yv = problem
+        trainer = make_trainer(rng)
+        hist = trainer.fit(xt, yt, xv, yv, epochs=30, batch_size=16)
+        assert hist.train_loss[-1] < 0.2 * hist.train_loss[0]
+        assert len(hist.val_loss) == hist.epochs_run
+
+    def test_evaluate_matches_manual(self, rng, problem):
+        xt, yt, _, _ = problem
+        trainer = make_trainer(rng)
+        loss = trainer.evaluate(xt, yt)
+        from repro.nn.tensor import Tensor
+
+        trainer.model.eval()
+        manual = MSELoss()(trainer.model(Tensor(xt)), Tensor(yt)).item()
+        assert loss == pytest.approx(manual, rel=1e-9)
+
+    def test_predict_shape_and_eval_mode(self, rng, problem):
+        xt, yt, xv, _ = problem
+        trainer = make_trainer(rng)
+        trainer.fit(xt, yt, epochs=2)
+        pred = trainer.predict(xv)
+        assert pred.shape == (len(xv), 1)
+
+    def test_grad_clipping_runs(self, rng, problem):
+        xt, yt, _, _ = problem
+        model = Sequential(Linear(2, 4, rng=rng), Linear(4, 1, rng=rng))
+        trainer = Trainer(
+            model, Adam(model.parameters(), lr=0.01), MSELoss(), grad_clip_norm=0.1, rng=rng
+        )
+        hist = trainer.fit(xt, yt, epochs=3)
+        assert hist.epochs_run == 3
+
+    def test_reproducible_given_seed(self, problem):
+        xt, yt, _, _ = problem
+        losses = []
+        for _ in range(2):
+            rng = np.random.default_rng(5)
+            trainer = make_trainer(rng)
+            hist = trainer.fit(xt, yt, epochs=3, batch_size=16)
+            losses.append(hist.train_loss)
+        assert losses[0] == losses[1]
+
+
+class TestEarlyStopping:
+    def test_stops_and_restores_best(self, rng, problem):
+        xt, yt, xv, yv = problem
+        trainer = make_trainer(rng, lr=0.3)  # aggressive lr to force val bounce
+        es = EarlyStopping(patience=2, restore_best_weights=True)
+        hist = trainer.fit(xt, yt, xv, yv, epochs=200, callbacks=[es])
+        if hist.stopped_early:
+            assert hist.epochs_run < 200
+            # restored weights reproduce the best validation loss
+            assert trainer.evaluate(xv, yv) == pytest.approx(es.best, rel=1e-6)
+
+    def test_monitor_missing_raises(self, rng, problem):
+        xt, yt, _, _ = problem
+        trainer = make_trainer(rng)
+        with pytest.raises(KeyError, match="val_loss"):
+            trainer.fit(xt, yt, epochs=2, callbacks=[EarlyStopping()])
+
+    def test_patience_zero_stops_on_first_non_improvement(self, rng):
+        from repro.nn.module import Module
+
+        es = EarlyStopping(patience=0, restore_best_weights=False)
+
+        class M(Module):
+            def forward(self, x):  # pragma: no cover
+                return x
+
+        m = M()
+        es.on_train_begin(m)
+        es.on_epoch_end(0, {"val_loss": 1.0}, m)
+        assert not es.stop_training
+        es.on_epoch_end(1, {"val_loss": 1.5}, m)
+        assert es.stop_training
+
+
+class TestOtherCallbacks:
+    def test_history_records(self, rng, problem):
+        xt, yt, xv, yv = problem
+        trainer = make_trainer(rng)
+        hist_cb = History()
+        trainer.fit(xt, yt, xv, yv, epochs=4, callbacks=[hist_cb])
+        assert hist_cb.epochs == [0, 1, 2, 3]
+        assert len(hist_cb["loss"]) == 4
+        assert len(hist_cb["val_loss"]) == 4
+
+    def test_checkpoint_saves_best(self, rng, problem, tmp_path):
+        xt, yt, xv, yv = problem
+        trainer = make_trainer(rng)
+        path = tmp_path / "best.npz"
+        trainer.fit(xt, yt, xv, yv, epochs=5, callbacks=[ModelCheckpoint(path)])
+        assert path.exists()
+
+    def test_csv_logger(self, rng, problem, tmp_path):
+        xt, yt, xv, yv = problem
+        trainer = make_trainer(rng)
+        path = tmp_path / "log.csv"
+        trainer.fit(xt, yt, xv, yv, epochs=3, callbacks=[CSVLogger(path)])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "epoch,loss,val_loss"
+        assert len(lines) == 4
+
+    def test_lambda_callback(self, rng, problem):
+        xt, yt, _, _ = problem
+        trainer = make_trainer(rng)
+        seen = []
+        cb = LambdaCallback(on_epoch_end=lambda e, logs, m: seen.append(e))
+        trainer.fit(xt, yt, epochs=3, callbacks=[cb])
+        assert seen == [0, 1, 2]
