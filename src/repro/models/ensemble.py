@@ -15,6 +15,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from ..nn._plans import planned_einsum
 from ..training.metrics import mse
 from .arima import ARIMAForecaster
 from .base import Forecaster, create_forecaster, register_forecaster
@@ -77,7 +78,7 @@ class EnsembleForecaster(Forecaster):
         self._check_fitted()
         self._check_xy(x)
         stacked = np.stack([m.predict(x) for m in self.members])  # (M, N, H)
-        return np.einsum("m,mnh->nh", self.weights_, stacked)
+        return planned_einsum("m,mnh->nh", self.weights_, stacked)
 
 
 @register_forecaster("hybrid_arima_nn")

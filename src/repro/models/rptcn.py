@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn import init as nn_init
 from ..nn.layers.attention import FeatureAttention, TemporalAttention
 from ..nn.layers.linear import Linear
 from ..nn.module import Module
@@ -65,7 +66,7 @@ class RPTCN(Module):
             raise ValueError(
                 f"attention must be feature/temporal/none, got {attention!r}"
             )
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else nn_init.default_rng()
         self.attention_kind = attention
         self.use_fc = use_fc
         self.backbone = TCN(

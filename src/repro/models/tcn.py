@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn import init as nn_init
 from ..nn.layers.container import ModuleList, Sequential
 from ..nn.layers.conv import Conv1d
 from ..nn.layers.dropout import SpatialDropout1d
@@ -40,7 +41,7 @@ class TemporalBlock(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else nn_init.default_rng()
         self.conv1 = WeightNormConv1d(
             in_channels, out_channels, kernel_size, dilation=dilation, rng=rng
         )
@@ -88,7 +89,7 @@ class TCN(Module):
         super().__init__()
         if not channels:
             raise ValueError("channels may not be empty")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else nn_init.default_rng()
         if dilations is None:
             dilations = tuple(2**i for i in range(len(channels)))
         if len(dilations) != len(channels):

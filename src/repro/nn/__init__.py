@@ -39,14 +39,27 @@ from .layers import (
     TemporalAttention,
     WeightNormConv1d,
 )
+from .init import default_rng, set_default_seed
 from .losses import HuberLoss, MAELoss, MSELoss
 from .module import Module, Parameter
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    dtype_policy,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "dtype_policy",
+    "set_default_seed",
+    "default_rng",
     "Module",
     "Parameter",
     "functional",

@@ -1,0 +1,108 @@
+"""Kernel plan caches for the :mod:`repro.nn` substrate.
+
+The substrate's hot ops (im2col convolution, einsum contractions) used to
+pay per-call planning overhead: rebuilding the gather index matrix and
+re-running ``np.einsum``'s path optimizer on every forward/backward. Both
+are pure functions of the *shape signature*, not the data, so this module
+memoizes them process-wide:
+
+- :func:`gather_indices` — the ``(K, L_out)`` im2col index matrix keyed on
+  ``(length, kernel, dilation, stride)``. Returned arrays are marked
+  read-only so a cached plan can never be corrupted by a caller.
+- :func:`planned_einsum` — ``np.einsum`` executed with a contraction path
+  found once per ``(subscripts, shapes)`` signature via ``np.einsum_path``.
+- :func:`fold_cols` — the adjoint of the im2col gather: a loop-free
+  col2im scatter-add expressed as ``K`` strided-view slice accumulations
+  (``K`` is the kernel size, 2–7 in practice) instead of one
+  ``np.add.at`` call over the full index matrix, which is the slowest
+  scatter primitive in NumPy. The accumulation order (kernel-tap major,
+  ascending time) matches ``np.add.at`` iterating the index matrix in C
+  order, so results are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["gather_indices", "einsum_path", "planned_einsum", "fold_cols", "conv_out_length"]
+
+
+def conv_out_length(length: int, kernel_size: int, dilation: int, stride: int) -> int:
+    """Output length of a 1-D convolution over an already-padded input."""
+    return (length - (kernel_size - 1) * dilation - 1) // stride + 1
+
+
+@lru_cache(maxsize=None)
+def gather_indices(length: int, kernel_size: int, dilation: int, stride: int) -> np.ndarray:
+    """Memoized index matrix ``idx[k, t] = t * stride + k * dilation`` for im2col."""
+    l_out = conv_out_length(length, kernel_size, dilation, stride)
+    if l_out <= 0:
+        raise ValueError(
+            f"conv1d produces empty output: length={length}, "
+            f"kernel={kernel_size}, dilation={dilation}, stride={stride}"
+        )
+    k = np.arange(kernel_size)[:, None] * dilation
+    t = np.arange(l_out)[None, :] * stride
+    idx = k + t
+    idx.setflags(write=False)
+    return idx
+
+
+@lru_cache(maxsize=None)
+def gather_indices_flat(
+    length: int, kernel_size: int, dilation: int, stride: int
+) -> tuple[np.ndarray, int]:
+    """Raveled gather index plus ``l_out``, for ``np.take`` along the length axis.
+
+    ``np.take`` with a flat index produces a C-contiguous ``(N, C, K*L_out)``
+    result, so the downstream reshape to the GEMM layout ``(N, C*K, L_out)``
+    is a free view — fancy indexing with the 2-D matrix yields a
+    non-contiguous layout whose reshape copies the whole column tensor.
+    """
+    idx = gather_indices(length, kernel_size, dilation, stride)
+    flat = np.ascontiguousarray(idx.ravel())
+    flat.setflags(write=False)
+    return flat, idx.shape[1]
+
+
+@lru_cache(maxsize=None)
+def einsum_path(subscripts: str, *shapes: tuple[int, ...]) -> list:
+    """Contraction path for ``subscripts`` over operands of the given shapes.
+
+    ``np.einsum(..., optimize=True)`` re-runs its path search on every call;
+    for the fixed shape signatures of a training loop that search costs more
+    than the small contractions themselves. ``np.empty`` operands are used
+    because path search only inspects shapes.
+    """
+    path, _ = np.einsum_path(
+        subscripts, *[np.empty(s) for s in shapes], optimize="optimal"
+    )
+    return path
+
+
+def planned_einsum(subscripts: str, *operands: np.ndarray) -> np.ndarray:
+    """``np.einsum`` with a memoized contraction path."""
+    path = einsum_path(subscripts, *(op.shape for op in operands))
+    return np.einsum(subscripts, *operands, optimize=path)
+
+
+def fold_cols(
+    gcols: np.ndarray, length: int, stride: int, dilation: int
+) -> np.ndarray:
+    """Scatter-add im2col columns ``(N, C, K, L_out)`` back onto ``(N, C, length)``.
+
+    Equivalent to ``np.add.at(gxp, (:, :, gather_indices(...)), gcols)`` but
+    expressed as one vectorized strided-slice accumulation per kernel tap.
+    Within a tap the target positions are distinct, so ``+=`` on the strided
+    view is an exact scatter; across taps the per-position accumulation
+    order matches ``np.add.at``'s C-order traversal of the index matrix.
+    """
+    n, c, k, l_out = gcols.shape
+    gxp = np.zeros((n, c, length), dtype=gcols.dtype)
+    span = (l_out - 1) * stride + 1
+    for tap in range(k):
+        off = tap * dilation
+        gxp[:, :, off : off + span : stride] += gcols[:, :, tap, :]
+    return gxp

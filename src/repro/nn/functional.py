@@ -1,20 +1,29 @@
 """Stateless differentiable operations used by :mod:`repro.nn` layers.
 
-The heavy op here is :func:`conv1d`, implemented with an explicit
-im2col gather (a strided index array) so that the convolution itself is a
-single ``einsum`` contraction, and the input gradient is one
-``np.add.at`` scatter — both whole-array operations with no Python-level
-inner loops, per the HPC vectorization guides.
+The heavy ops here are :func:`conv1d` and :func:`lstm`. The convolution is
+an explicit im2col gather (a memoized strided index array from
+:mod:`repro.nn._plans`) followed by a single ``einsum`` contraction with a
+cached contraction path; the input gradient is a loop-free col2im fold
+(one strided-view accumulation per kernel tap) rather than an
+``np.add.at`` scatter. The LSTM is a fused sequence kernel: one gate
+matmul over the whole ``(N, T, C)`` input, a NumPy-only recurrent loop,
+and a hand-written BPTT backward — no per-step Tensor allocation.
+
+Every op with a nontrivial graph closure also has an inference fast path:
+when autograd is off (or no parent requires grad) the op returns a
+constant Tensor and skips closure/parent bookkeeping entirely.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from . import _plans
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "conv1d",
+    "lstm",
     "softmax",
     "log_softmax",
     "dropout",
@@ -32,15 +41,7 @@ __all__ = [
 
 def _gather_indices(length: int, kernel_size: int, dilation: int, stride: int) -> np.ndarray:
     """Index matrix ``idx[k, t] = t * stride + k * dilation`` for im2col."""
-    l_out = (length - (kernel_size - 1) * dilation - 1) // stride + 1
-    if l_out <= 0:
-        raise ValueError(
-            f"conv1d produces empty output: length={length}, "
-            f"kernel={kernel_size}, dilation={dilation}, stride={stride}"
-        )
-    k = np.arange(kernel_size)[:, None] * dilation
-    t = np.arange(l_out)[None, :] * stride
-    return k + t
+    return _plans.gather_indices(length, kernel_size, dilation, stride)
 
 
 def conv1d(
@@ -73,24 +74,40 @@ def conv1d(
 
     xp = x.data
     if pad_l or pad_r:
-        xp = np.pad(xp, ((0, 0), (0, 0), (pad_l, pad_r)))
-    idx = _gather_indices(xp.shape[-1], k, dilation, stride)
-    cols = xp[:, :, idx]  # (N, C_in, K, L_out)
-    out = np.einsum("oik,nikt->not", weight.data, cols, optimize=True)
+        # np.pad's generality costs ~4x a zeros-plus-slice-assign here
+        padded = np.zeros((n, c_in, length + pad_l + pad_r), dtype=xp.dtype)
+        padded[:, :, pad_l : pad_l + length] = xp
+        xp = padded
+    flat_idx, l_out = _plans.gather_indices_flat(xp.shape[-1], k, dilation, stride)
+    # np.take with the raveled index keeps the gather C-contiguous, so this
+    # reshape to the GEMM layout (N, C_in*K, L_out) is a free view; the
+    # contraction "oik,nikt->not" is then a batched GEMM, which beats even a
+    # path-cached einsum (einsum re-parses subscripts on every call)
+    cols2 = np.take(xp, flat_idx, axis=2).reshape(n, c_in * k, l_out)
+    w2 = weight.data.reshape(c_out, c_in * k)
+    out = np.matmul(w2, cols2)  # (N, C_out, L_out)
     if bias is not None:
-        out = out + bias.data[None, :, None]
+        out += bias.data[None, :, None]
+
+    requires = is_grad_enabled() and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not requires:
+        return Tensor(out)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:
-            weight._accumulate(np.einsum("not,nikt->oik", grad, cols, optimize=True))
+            gw = np.matmul(grad, cols2.transpose(0, 2, 1)).sum(axis=0)
+            weight._accumulate(gw.reshape(c_out, c_in, k))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2)))
         if x.requires_grad:
-            gcols = np.einsum("oik,not->nikt", weight.data, grad, optimize=True)
-            gxp = np.zeros((n, c_in, length + pad_l + pad_r))
-            np.add.at(gxp, (slice(None), slice(None), idx), gcols)
+            gcols = np.matmul(w2.T, grad).reshape(n, c_in, k, -1)
+            gxp = _plans.fold_cols(gcols, length + pad_l + pad_r, stride, dilation)
             if pad_l or pad_r:
                 gxp = gxp[:, :, pad_l : pad_l + length]
             x._accumulate(gxp)
@@ -216,7 +233,150 @@ def spatial_dropout1d(
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """``x @ weight.T + bias`` — the paper's eq. (6)."""
+    if not (
+        is_grad_enabled()
+        and (
+            x.requires_grad
+            or weight.requires_grad
+            or (bias is not None and bias.requires_grad)
+        )
+    ):
+        # inference fast path: one GEMM, no transpose node, no graph wiring
+        out = x.data @ weight.data.T
+        if bias is not None:
+            out += bias.data
+        return Tensor(out)
     out = x @ weight.transpose()
     if bias is not None:
         out = out + bias
     return out
+
+
+# ---------------------------------------------------------------------------
+# fused LSTM sequence kernel
+# ---------------------------------------------------------------------------
+
+
+def _sigmoid_arr(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic on a raw array.
+
+    ``exp(-|x|)`` never overflows, and the two ``np.where`` branches are the
+    exact expressions of the piecewise-stable form (``1/(1+e^-x)`` for
+    ``x >= 0``, ``e^x/(1+e^x)`` otherwise) — element-wise identical to
+    :meth:`Tensor.sigmoid`, but with no boolean fancy indexing.
+    """
+    e = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
+
+
+def lstm(
+    x: Tensor,
+    w_ih: Tensor,
+    w_hh: Tensor,
+    bias: Tensor,
+    state: tuple[Tensor, Tensor] | None = None,
+) -> Tensor:
+    """Fused single-layer LSTM over a ``(N, T, F)`` sequence.
+
+    The input projection for all four gates and all ``T`` steps is one
+    GEMM; the recurrent loop then runs on raw NumPy arrays (no per-step
+    Tensor allocation, no autograd chain of length ``T``), and backward is
+    a hand-written BPTT sweep over stashed gate activations. Gate layout
+    matches :class:`~repro.nn.layers.recurrent.LSTMCell`: ``[i, f, g, o]``.
+
+    Returns the hidden sequence ``(N, T, H)``. ``state`` is an optional
+    ``(h_0, c_0)`` pair of ``(N, H)`` Tensors; gradients flow back into it.
+    """
+    n, t, _ = x.shape
+    h_size = w_hh.shape[-1]
+    xp = x.data
+
+    if state is not None:
+        h0, c0 = Tensor.ensure(state[0]), Tensor.ensure(state[1])
+        h_prev0, c_prev0 = h0.data, c0.data
+    else:
+        h0 = c0 = None
+        h_prev0 = np.zeros((n, h_size), dtype=xp.dtype)
+        c_prev0 = np.zeros((n, h_size), dtype=xp.dtype)
+
+    # one GEMM for the whole sequence's input projection (bias folded in)
+    gates_x = xp.reshape(n * t, -1) @ w_ih.data.T
+    gates_x += bias.data
+    gates_x = gates_x.reshape(n, t, 4 * h_size)
+    whh_t = w_hh.data.T
+
+    parents = [x, w_ih, w_hh, bias] + ([h0, c0] if h0 is not None else [])
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+
+    hs = np.empty((n, t, h_size), dtype=xp.dtype)
+    h, c = h_prev0, c_prev0
+
+    if not requires:
+        # inference fast path: nothing stashed, nothing wired
+        for step in range(t):
+            g_all = gates_x[:, step] + h @ whh_t
+            i_f = _sigmoid_arr(g_all[:, : 2 * h_size])
+            i, f = i_f[:, :h_size], i_f[:, h_size:]
+            g = np.tanh(g_all[:, 2 * h_size : 3 * h_size])
+            o = _sigmoid_arr(g_all[:, 3 * h_size :])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            hs[:, step] = h
+        return Tensor(hs)
+
+    # training path: stash post-activation gates and cell states for BPTT
+    ia = np.empty((n, t, h_size), dtype=xp.dtype)
+    fa = np.empty_like(ia)
+    ga = np.empty_like(ia)
+    oa = np.empty_like(ia)
+    ca = np.empty_like(ia)
+    tca = np.empty_like(ia)
+    for step in range(t):
+        g_all = gates_x[:, step] + h @ whh_t
+        i_f = _sigmoid_arr(g_all[:, : 2 * h_size])
+        i, f = i_f[:, :h_size], i_f[:, h_size:]
+        g = np.tanh(g_all[:, 2 * h_size : 3 * h_size])
+        o = _sigmoid_arr(g_all[:, 3 * h_size :])
+        c = f * c + i * g
+        tc = np.tanh(c)
+        h = o * tc
+        ia[:, step], fa[:, step], ga[:, step], oa[:, step] = i, f, g, o
+        ca[:, step], tca[:, step] = c, tc
+        hs[:, step] = h
+
+    def backward(grad: np.ndarray) -> None:
+        dgates = np.empty((n, t, 4 * h_size), dtype=grad.dtype)
+        dh_next = np.zeros((n, h_size), dtype=grad.dtype)
+        dc_next = np.zeros((n, h_size), dtype=grad.dtype)
+        whh = w_hh.data
+        for step in range(t - 1, -1, -1):
+            i, f, g, o = ia[:, step], fa[:, step], ga[:, step], oa[:, step]
+            tc = tca[:, step]
+            c_prev = ca[:, step - 1] if step > 0 else c_prev0
+            dh = grad[:, step] + dh_next
+            dc = dc_next + dh * o * (1.0 - tc * tc)
+            dg_step = dgates[:, step]
+            dg_step[:, :h_size] = dc * g * i * (1.0 - i)
+            dg_step[:, h_size : 2 * h_size] = dc * c_prev * f * (1.0 - f)
+            dg_step[:, 2 * h_size : 3 * h_size] = dc * i * (1.0 - g * g)
+            dg_step[:, 3 * h_size :] = dh * tc * o * (1.0 - o)
+            dh_next = dg_step @ whh
+            dc_next = dc * f
+        flat = dgates.reshape(n * t, 4 * h_size)
+        if w_ih.requires_grad:
+            w_ih._accumulate(flat.T @ xp.reshape(n * t, -1))
+        if w_hh.requires_grad:
+            hp = np.empty_like(hs)
+            hp[:, 0] = h_prev0
+            hp[:, 1:] = hs[:, :-1]
+            w_hh._accumulate(flat.T @ hp.reshape(n * t, h_size))
+        if bias.requires_grad:
+            bias._accumulate(flat.sum(axis=0))
+        if x.requires_grad:
+            x._accumulate((flat @ w_ih.data).reshape(n, t, -1))
+        if h0 is not None and h0.requires_grad:
+            h0._accumulate(dh_next)
+        if c0 is not None and c0.requires_grad:
+            c0._accumulate(dc_next)
+
+    return Tensor._from_op(hs, parents, backward)

@@ -20,7 +20,41 @@ __all__ = [
     "zeros",
     "ones",
     "compute_fans",
+    "default_rng",
+    "set_default_seed",
 ]
+
+
+# ---------------------------------------------------------------------------
+# module-level default generator
+# ---------------------------------------------------------------------------
+
+# Layers that are constructed without an explicit ``rng`` used to each spin
+# up a fresh unseeded ``np.random.default_rng()``, making weight init
+# irreproducible unless every call site threaded a generator. Instead they
+# now draw from this process-wide seeded generator.
+
+_DEFAULT_SEED = 0
+_DEFAULT_RNG: np.random.Generator | None = None
+
+
+def set_default_seed(seed: int) -> None:
+    """(Re)seed the shared generator used when layers get ``rng=None``.
+
+    Calling this resets the stream, so two identical model constructions
+    bracketed by the same ``set_default_seed(s)`` produce identical weights.
+    """
+    global _DEFAULT_SEED, _DEFAULT_RNG
+    _DEFAULT_SEED = int(seed)
+    _DEFAULT_RNG = np.random.default_rng(_DEFAULT_SEED)
+
+
+def default_rng() -> np.random.Generator:
+    """The shared, seeded fallback generator (seed 0 unless overridden)."""
+    global _DEFAULT_RNG
+    if _DEFAULT_RNG is None:
+        _DEFAULT_RNG = np.random.default_rng(_DEFAULT_SEED)
+    return _DEFAULT_RNG
 
 
 def compute_fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -42,7 +42,7 @@ class Conv1d(Module):
             raise ValueError(f"kernel_size must be >= 1, got {kernel_size}")
         if dilation < 1:
             raise ValueError(f"dilation must be >= 1, got {dilation}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else init.default_rng()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import functional as F
+from .. import init
 from ..module import Module
 from ..tensor import Tensor
 
@@ -19,7 +20,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else init.default_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, self.rng, training=self.training)
@@ -41,7 +42,7 @@ class SpatialDropout1d(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else init.default_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         return F.spatial_dropout1d(x, self.p, self.rng, training=self.training)

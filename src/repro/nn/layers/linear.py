@@ -33,7 +33,7 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else init.default_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.glorot_uniform((out_features, in_features), rng))

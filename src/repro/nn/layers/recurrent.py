@@ -1,15 +1,18 @@
 """Recurrent layers (LSTM / GRU) with backprop-through-time via autograd.
 
-These power the paper's LSTM and CNN-LSTM baselines. Gates are computed
-with a single fused matmul per step (weights for all four LSTM gates are
-stacked), and the time loop builds an autograd chain that
-:meth:`Tensor.backward` unrolls iteratively (no recursion-depth hazards).
+These power the paper's LSTM and CNN-LSTM baselines. The LSTM sequence
+layer runs on the fused kernel in :func:`repro.nn.functional.lstm`: one
+gate GEMM over the whole ``(N, T, C)`` input, a NumPy-only recurrent loop,
+and a hand-written BPTT backward — no per-step Tensor allocation. The
+cells remain available for explicit single-step (online/stateful) use and
+as the stepwise reference the parity tests check the fused kernel against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import functional as F
 from .. import init
 from ..module import Module, Parameter
 from ..tensor import Tensor
@@ -30,7 +33,7 @@ class LSTMCell(Module):
         self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else init.default_rng()
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.w_ih = Parameter(init.glorot_uniform((4 * hidden_size, input_size), rng))
@@ -67,7 +70,8 @@ class LSTM(Module):
     """Multi-layer LSTM over ``(N, T, F)`` sequences.
 
     Returns the full hidden sequence ``(N, T, H)`` of the top layer; use
-    ``outputs[:, -1]`` for a sequence-to-one head.
+    ``outputs[:, -1]`` for a sequence-to-one head. Each layer is one call
+    into the fused sequence kernel.
     """
 
     def __init__(
@@ -78,7 +82,7 @@ class LSTM(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else init.default_rng()
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
@@ -92,20 +96,12 @@ class LSTM(Module):
     def forward(
         self, x: Tensor, state: list[tuple[Tensor, Tensor]] | None = None
     ) -> Tensor:
-        n, t, _ = x.shape
         states: list[tuple[Tensor, Tensor] | None]
         states = list(state) if state is not None else [None] * self.num_layers
-
-        layer_input = [x[:, step, :] for step in range(t)]
+        out = x
         for li, cell in enumerate(self.cells):
-            st = states[li]
-            outputs = []
-            for step_x in layer_input:
-                h, c = cell(step_x, st)
-                st = (h, c)
-                outputs.append(h)
-            layer_input = outputs
-        return Tensor.stack(layer_input, axis=1)
+            out = F.lstm(out, cell.w_ih, cell.w_hh, cell.bias, state=states[li])
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"LSTM({self.input_size}, {self.hidden_size}, layers={self.num_layers})"
@@ -118,7 +114,7 @@ class GRUCell(Module):
         self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else init.default_rng()
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.w_ih = Parameter(init.glorot_uniform((3 * hidden_size, input_size), rng))
@@ -126,24 +122,33 @@ class GRUCell(Module):
         self.b_ih = Parameter(init.zeros((3 * hidden_size,)))
         self.b_hh = Parameter(init.zeros((3 * hidden_size,)))
 
-    def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
-        n = x.shape[0]
+    def _step(self, gi: Tensor, h: Tensor) -> Tensor:
+        """Recurrent half of the step, given the precomputed input projection."""
         hs = self.hidden_size
-        if h is None:
-            h = Tensor(np.zeros((n, hs)))
-        gi = x @ self.w_ih.T + self.b_ih
         gh = h @ self.w_hh.T + self.b_hh
         r = (gi[:, 0:hs] + gh[:, 0:hs]).sigmoid()
         z = (gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
         new = (gi[:, 2 * hs : 3 * hs] + r * gh[:, 2 * hs : 3 * hs]).tanh()
         return (1.0 - z) * new + z * h
 
+    def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
+        n = x.shape[0]
+        if h is None:
+            h = Tensor(np.zeros((n, self.hidden_size)))
+        gi = x @ self.w_ih.T + self.b_ih
+        return self._step(gi, h)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"GRUCell({self.input_size}, {self.hidden_size})"
 
 
 class GRU(Module):
-    """Multi-layer GRU over ``(N, T, F)`` sequences; returns ``(N, T, H)``."""
+    """Multi-layer GRU over ``(N, T, F)`` sequences; returns ``(N, T, H)``.
+
+    The input projection ``x @ W_ih.T + b_ih`` for all steps of a layer is
+    hoisted out of the time loop into one GEMM; only the reset/update
+    recurrence steps through time.
+    """
 
     def __init__(
         self,
@@ -153,7 +158,7 @@ class GRU(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else init.default_rng()
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
@@ -166,15 +171,19 @@ class GRU(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         n, t, _ = x.shape
-        layer_input = [x[:, step, :] for step in range(t)]
+        out = x
         for cell in self.cells:
-            h: Tensor | None = None
+            hs = cell.hidden_size
+            gi_seq = (
+                out.reshape(n * t, out.shape[-1]) @ cell.w_ih.T + cell.b_ih
+            ).reshape(n, t, 3 * hs)
+            h = Tensor(np.zeros((n, hs), dtype=out.data.dtype))
             outputs = []
-            for step_x in layer_input:
-                h = cell(step_x, h)
+            for step in range(t):
+                h = cell._step(gi_seq[:, step, :], h)
                 outputs.append(h)
-            layer_input = outputs
-        return Tensor.stack(layer_input, axis=1)
+            out = Tensor.stack(outputs, axis=1)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"GRU({self.input_size}, {self.hidden_size}, layers={self.num_layers})"

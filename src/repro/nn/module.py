@@ -87,6 +87,18 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter in place (float32 for serving, float64 to train).
+
+        Pair with :func:`repro.nn.set_default_dtype` (or the
+        :class:`~repro.nn.tensor.dtype_policy` context manager) so inputs
+        and weights agree and the inference fast paths stay in one dtype.
+        """
+        dt = np.dtype(dtype)
+        for p in self.parameters():
+            p.data = p.data.astype(dt, copy=False)
+        return self
+
     # -- gradients ---------------------------------------------------------------
 
     def zero_grad(self) -> None:
@@ -107,7 +119,7 @@ class Module:
                 f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
             )
         for name, p in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=p.data.dtype)
             if value.shape != p.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: have {p.data.shape}, got {value.shape}"

@@ -18,7 +18,14 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "dtype_policy",
+]
 
 # ---------------------------------------------------------------------------
 # global autograd switch (mirrors torch.no_grad semantics)
@@ -52,6 +59,50 @@ def is_grad_enabled() -> bool:
 
 
 # ---------------------------------------------------------------------------
+# dtype policy
+# ---------------------------------------------------------------------------
+
+# float64 is the training default (tight finite-difference gradient checks);
+# serving paths can opt into float32 for half the memory traffic.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype new Tensors are materialized in (float32 or float64)."""
+    global _DEFAULT_DTYPE
+    dt = np.dtype(dtype)
+    if dt not in _ALLOWED_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {dt}")
+    _DEFAULT_DTYPE = dt
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype used when coercing raw data into Tensors."""
+    return _DEFAULT_DTYPE
+
+
+class dtype_policy:
+    """Context manager that temporarily switches the default Tensor dtype.
+
+    ``with dtype_policy(np.float32): ...`` is the serving configuration:
+    inputs are materialized in single precision, halving memory bandwidth
+    on the inference fast paths (pair with :meth:`Module.to_dtype`).
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = dtype
+
+    def __enter__(self) -> "dtype_policy":
+        self._prev = get_default_dtype()
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_default_dtype(self._prev)
+
+
+# ---------------------------------------------------------------------------
 # broadcasting helpers
 # ---------------------------------------------------------------------------
 
@@ -77,8 +128,22 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value) -> np.ndarray:
-    arr = np.asarray(value, dtype=np.float64)
+    arr = np.asarray(value, dtype=_DEFAULT_DTYPE)
     return arr
+
+
+_BASIC_INDEX_TYPES = (int, np.integer, slice, type(None), type(Ellipsis))
+
+
+def _is_basic_index(idx) -> bool:
+    """True when ``idx`` is pure basic indexing (ints/slices/None/Ellipsis).
+
+    Basic indexing selects each source element at most once, so the adjoint
+    is plain slice assignment — no ``np.add.at`` scatter needed.
+    """
+    if isinstance(idx, tuple):
+        return all(isinstance(i, _BASIC_INDEX_TYPES) for i in idx)
+    return isinstance(idx, _BASIC_INDEX_TYPES)
 
 
 # ---------------------------------------------------------------------------
@@ -407,13 +472,12 @@ class Tensor:
         return Tensor._from_op(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # numerically stable piecewise logistic
+        # numerically stable logistic: exp(-|x|) never overflows, and the
+        # where-branches are the exact piecewise expressions (no fancy
+        # indexing, which costs more than the arithmetic at these sizes)
         x = self.data
-        data = np.empty_like(x)
-        pos = x >= 0
-        data[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-        ex = np.exp(x[~pos])
-        data[~pos] = ex / (1.0 + ex)
+        ex = np.exp(-np.abs(x))
+        data = np.where(x >= 0, 1.0 / (1.0 + ex), ex / (1.0 + ex))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -550,11 +614,15 @@ class Tensor:
 
     def __getitem__(self, idx) -> "Tensor":
         data = self.data[idx]
+        basic = _is_basic_index(idx)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, idx, grad)
+                if basic:
+                    full[idx] = grad
+                else:
+                    np.add.at(full, idx, grad)
                 self._accumulate(full)
 
         return Tensor._from_op(data, (self,), backward)
@@ -630,5 +698,8 @@ class Tensor:
 
     @staticmethod
     def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> "Tensor":
-        rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            from . import init
+
+            rng = init.default_rng()
         return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)

@@ -51,9 +51,31 @@ class RollingBuffer:
 
     def last(self, n: int) -> np.ndarray:
         """The most recent ``n`` records, oldest first."""
+        out = np.empty((n, self.features))
+        self.last_into(out)
+        return out
+
+    def last_into(self, out: np.ndarray) -> np.ndarray:
+        """Copy the most recent ``len(out)`` records into ``out``, oldest first.
+
+        Serving fast path: unlike :meth:`last` via :meth:`view`, this never
+        materializes (or rolls) the whole buffer — at most two slice copies
+        of exactly ``n`` rows land in the caller-owned output array.
+        """
+        n = len(out)
         if n < 1 or n > self._size:
             raise ValueError(f"n must be in [1, {self._size}], got {n}")
-        return self.view()[-n:]
+        if self._size < self.capacity:
+            out[...] = self._data[self._size - n : self._size]
+            return out
+        start = (self._head - n) % self.capacity
+        if start + n <= self.capacity:
+            out[...] = self._data[start : start + n]
+        else:
+            split = self.capacity - start
+            out[:split] = self._data[start:]
+            out[split:] = self._data[: n - split]
+        return out
 
     def clear(self) -> None:
         self._head = 0

@@ -69,6 +69,9 @@ class OnlinePredictor:
         Which feature column is the prediction target.
     detector:
         Drift detector over absolute errors (default Page-Hinkley).
+    serve_dtype:
+        Dtype of the preallocated inference window buffer (e.g.
+        ``np.float32`` to serve in single precision; default float64).
     """
 
     def __init__(
@@ -82,6 +85,7 @@ class OnlinePredictor:
         target_col: int = 0,
         features: int = 1,
         detector: DriftDetector | None = None,
+        serve_dtype: np.dtype | type = np.float64,
     ) -> None:
         if buffer_capacity < window + 2:
             raise ValueError(
@@ -102,6 +106,9 @@ class OnlinePredictor:
         self.stats = _OnlineStats()
         self._step = 0
         self._since_refit = 0
+        # preallocated (1, window, features) inference input — refilled in
+        # place each step instead of re-materializing the buffer tail
+        self._hist = np.empty((1, window, features), dtype=serve_dtype)
 
     # -- internals -------------------------------------------------------------
 
@@ -121,8 +128,8 @@ class OnlinePredictor:
     def _predict_next(self) -> float | None:
         if self.model is None or len(self.buffer) < self.window:
             return None
-        hist = self.buffer.last(self.window)[None, :, :]
-        return float(self.model.predict(hist)[0, 0])
+        self.buffer.last_into(self._hist[0])
+        return float(self.model.predict(self._hist)[0, 0])
 
     # -- API -------------------------------------------------------------------
 

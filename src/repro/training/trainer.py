@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..nn import init as nn_init
 from ..nn.module import Module
 from ..nn.optim.base import Optimizer
 from ..nn.optim.clip import clip_grad_norm
@@ -54,7 +55,7 @@ class Trainer:
         self.optimizer = optimizer
         self.loss = loss
         self.grad_clip_norm = grad_clip_norm
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else nn_init.default_rng()
 
     # -- evaluation ----------------------------------------------------------
 
@@ -65,26 +66,36 @@ class Trainer:
         count = 0
         with no_grad():
             for start in range(0, len(x), batch_size):
-                xb = Tensor(x[start : start + batch_size])
-                yb = Tensor(y[start : start + batch_size])
+                stop = min(start + batch_size, len(x))
+                xb = Tensor(x[start:stop])
+                yb = Tensor(y[start:stop])
                 out = self.model(xb)
                 loss = self.loss(out, yb)
-                n = len(xb)
-                total += loss.item() * n
-                count += n
+                total += loss.item() * (stop - start)
+                count += stop - start
         self.model.train()
         return total / max(count, 1)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Forward pass over a dataset (eval mode, no graph)."""
+        """Forward pass over a dataset (eval mode, no graph).
+
+        The output array is preallocated after the first batch reveals the
+        head shape, and each batch is written into its slice in place —
+        no Python list of batch outputs, no terminal ``np.concatenate``.
+        """
         self.model.eval()
-        outputs = []
+        out_arr: np.ndarray | None = None
         with no_grad():
             for start in range(0, len(x), batch_size):
-                out = self.model(Tensor(x[start : start + batch_size]))
-                outputs.append(out.data)
+                stop = min(start + batch_size, len(x))
+                out = self.model(Tensor(x[start:stop])).data
+                if out_arr is None:
+                    out_arr = np.empty((len(x),) + out.shape[1:], dtype=out.dtype)
+                out_arr[start:stop] = out
         self.model.train()
-        return np.concatenate(outputs, axis=0)
+        if out_arr is None:
+            return np.empty((0,))
+        return out_arr
 
     # -- training ----------------------------------------------------------------
 

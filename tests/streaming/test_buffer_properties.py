@@ -41,3 +41,20 @@ class TestBufferProperties:
             buf.append(np.array([v]))
         n = min(2, len(buf))
         np.testing.assert_array_equal(buf.last(n), buf.view()[-n:])
+
+    @given(
+        st.integers(2, 12),
+        st.lists(st.floats(-10, 10, allow_nan=False, width=64), min_size=1, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_last_into_matches_view_suffix_for_all_n(self, capacity, stream, data):
+        """The no-copy tail fill agrees with view()[-n:] at every wrap state."""
+        buf = RollingBuffer(capacity, 1)
+        for v in stream:
+            buf.append(np.array([v]))
+        n = data.draw(st.integers(1, len(buf)))
+        out = np.empty((n, 1))
+        result = buf.last_into(out)
+        assert result is out
+        np.testing.assert_array_equal(out, buf.view()[-n:])
