@@ -13,6 +13,7 @@ from .curves import Fig8Result, run_fig8
 from .generalization import GeneralizationResult, run_generalization
 from .horizon import HorizonResult, run_horizon_sweep
 from .persistence import load_result, save_result, to_jsonable
+from .resilience import ResilienceLevelResult, ResilienceResult, run_resilience
 from .robustness import RobustnessResult, run_robustness
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "HorizonResult",
     "run_robustness",
     "RobustnessResult",
+    "run_resilience",
+    "ResilienceResult",
+    "ResilienceLevelResult",
     "run_generalization",
     "GeneralizationResult",
     "save_result",

@@ -22,6 +22,7 @@ from .convergence import run_fig9, run_fig10
 from .curves import run_fig8
 from .generalization import run_generalization
 from .horizon import run_horizon_sweep
+from .resilience import run_resilience
 from .robustness import run_robustness
 
 __all__ = ["main"]
@@ -29,7 +30,7 @@ __all__ = ["main"]
 #: paper artifacts (always in --experiment all)
 EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10")
 #: extension harnesses (run individually, or via --experiment extensions)
-EXTENSIONS = ("horizon", "robustness", "generalization")
+EXTENSIONS = ("horizon", "robustness", "generalization", "resilience")
 
 
 def _print_fig1(profile: str) -> None:
@@ -147,6 +148,29 @@ def _print_generalization(profile: str) -> None:
     print(f"mean generalization gap: x{res.mean_gap():.2f}")
 
 
+def _print_resilience(profile: str) -> None:
+    res = run_resilience(profile)
+    rows = [
+        [
+            f"{r.level:.2f}",
+            f"{r.mae_vs_clean * 100:.3f}",
+            f"x{res.degradation(r.level):.2f}",
+            f"{r.availability:.3f}",
+            r.n_quarantined,
+            r.n_refit_failures,
+            r.n_fallback_predictions,
+        ]
+        for r in res.per_level
+    ]
+    print(format_table(
+        ["fault level", "MAE(e-2) vs clean", "degradation", "availability",
+         "quarantined", "refit fails", "fallback preds"],
+        rows,
+        title=f"Serving degradation under stream faults ({res.model})",
+    ))
+    print(f"bounded within 8x of clean baseline: {res.is_bounded(8.0)}")
+
+
 _RUNNERS = {
     "fig1": _print_fig1,
     "fig2": _print_fig2,
@@ -159,6 +183,7 @@ _RUNNERS = {
     "horizon": _print_horizon,
     "robustness": _print_robustness,
     "generalization": _print_generalization,
+    "resilience": _print_resilience,
 }
 
 

@@ -13,6 +13,7 @@ value (needed by the univariate classical models and the naive baselines).
 from __future__ import annotations
 
 import abc
+import pickle
 from typing import Callable, Type
 
 import numpy as np
@@ -76,6 +77,29 @@ class Forecaster(abc.ABC):
     def _check_fitted(self) -> None:
         if not self.fitted:
             raise RuntimeError(f"{type(self).__name__} is not fitted")
+
+    # -- serialization --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the fitted forecaster (parameters and all) to bytes.
+
+        Every forecaster in the registry — classical and ``repro.nn``
+        based — holds only NumPy arrays, plain Python state and RNGs, so
+        a pickle round-trip reproduces predictions bit-for-bit. Used by
+        the serving checkpoint (:mod:`repro.streaming.checkpoint`); the
+        payload is a trusted local artifact, not a wire format.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(payload: bytes) -> "Forecaster":
+        """Inverse of :meth:`to_bytes`; validates the payload type."""
+        obj = pickle.loads(payload)
+        if not isinstance(obj, Forecaster):
+            raise TypeError(
+                f"payload deserialized to {type(obj).__name__}, expected a Forecaster"
+            )
+        return obj
 
 
 #: name → Forecaster subclass

@@ -6,11 +6,28 @@ a ring buffer over incoming monitoring records, concept-drift detection
 (Page-Hinkley), and an :class:`OnlinePredictor` that serves one-step
 predictions while refitting its forecaster periodically or on drift,
 scoring itself prequentially (test-then-train).
+
+The serving loop is fault-tolerant: an input gate quarantines or
+repairs corrupt records, refits run supervised with retry/backoff and a
+fallback forecaster, every prediction carries a health status, and the
+full serving state checkpoints to a crash-safe artifact. The
+:mod:`~repro.streaming.faults` harness injects stream and refit faults
+to exercise all of it.
 """
 
 from .buffer import RollingBuffer
+from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
 from .drift import DriftDetector, PageHinkley
+from .faults import FaultConfig, FaultInjector, InjectedFault
 from .online import OnlinePredictor, PredictionRecord
+from .resilience import (
+    GatePolicy,
+    GateResult,
+    HealthStatus,
+    InputGate,
+    Supervisor,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "RollingBuffer",
@@ -18,4 +35,16 @@ __all__ = [
     "DriftDetector",
     "OnlinePredictor",
     "PredictionRecord",
+    "HealthStatus",
+    "GatePolicy",
+    "GateResult",
+    "InputGate",
+    "Supervisor",
+    "SupervisorPolicy",
+    "FaultConfig",
+    "FaultInjector",
+    "InjectedFault",
+    "CheckpointError",
+    "write_checkpoint",
+    "read_checkpoint",
 ]

@@ -80,3 +80,25 @@ class RollingBuffer:
     def clear(self) -> None:
         self._head = 0
         self._size = 0
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Raw ring state (data + head + size) for exact checkpoint/restore."""
+        return {
+            "capacity": self.capacity,
+            "features": self.features,
+            "data": self._data.copy(),
+            "head": self._head,
+            "size": self._size,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["capacity"] != self.capacity or state["features"] != self.features:
+            raise ValueError(
+                f"buffer shape mismatch: have ({self.capacity}, {self.features}), "
+                f"checkpoint holds ({state['capacity']}, {state['features']})"
+            )
+        self._data[...] = state["data"]
+        self._head = int(state["head"])
+        self._size = int(state["size"])

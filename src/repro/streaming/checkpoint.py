@@ -1,0 +1,76 @@
+"""Checksummed checkpoint artifacts for the serving layer.
+
+A restarted serving process must resume mid-stream exactly where its
+predecessor died, which puts two demands on the artifact format beyond
+what bare ``pickle`` offers:
+
+* **atomicity** — the file is staged next to its destination and
+  published with ``os.replace`` (via :mod:`repro.ioutil`), so a crash
+  mid-checkpoint leaves the previous checkpoint intact;
+* **integrity** — an 8-byte magic, a format version, the payload length
+  and a SHA-256 digest precede the payload, so truncated or bit-rotted
+  files fail loudly with :class:`CheckpointError` instead of unpickling
+  garbage into a live predictor.
+
+The payload itself is a pickled plain-python/NumPy state mapping —
+checkpoints are trusted local artifacts written by this process (the
+usual pickle caveat: never load one from an untrusted source).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+from pathlib import Path
+from typing import Any
+
+from ..ioutil import atomic_write_bytes
+
+__all__ = ["CheckpointError", "write_checkpoint", "read_checkpoint"]
+
+_MAGIC = b"RPTCNCKP"
+_VERSION = 1
+#: magic + u32 version + u64 payload length + sha256 digest
+_HEADER = struct.Struct("<8sIQ32s")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, truncated, corrupt or incompatible."""
+
+
+def write_checkpoint(path: str | Path, state: Any) -> None:
+    """Serialize ``state`` to ``path`` atomically with an integrity header."""
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _HEADER.pack(_MAGIC, _VERSION, len(payload), hashlib.sha256(payload).digest())
+    atomic_write_bytes(path, header + payload)
+
+
+def read_checkpoint(path: str | Path) -> Any:
+    """Load and verify a checkpoint written by :func:`write_checkpoint`."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if len(raw) < _HEADER.size:
+        raise CheckpointError(f"checkpoint {path} is truncated (no header)")
+    magic, version, length, digest = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        raise CheckpointError(f"{path} is not a serving checkpoint (bad magic)")
+    if version != _VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {version}, expected {_VERSION}"
+        )
+    payload = raw[_HEADER.size :]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"checkpoint {path} is truncated: header promises {length} bytes, "
+            f"found {len(payload)}"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointError(f"checkpoint {path} failed its integrity check (bad digest)")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of types on bad input
+        raise CheckpointError(f"checkpoint {path} payload failed to deserialize: {exc}") from exc

@@ -9,6 +9,7 @@ how the paper's "mutation points" become an actionable signal online.
 from __future__ import annotations
 
 import abc
+import copy
 
 __all__ = ["DriftDetector", "PageHinkley"]
 
@@ -27,6 +28,16 @@ class DriftDetector(abc.ABC):
     def reset(self) -> None:
         self.drift_detected = False
         self.n_seen = 0
+
+    # Detector state is plain scalars in every subclass, so generic
+    # __dict__ snapshots give exact checkpoint/restore without each
+    # subclass writing serialization code.
+
+    def state_dict(self) -> dict:
+        return copy.deepcopy(self.__dict__)
+
+    def load_state_dict(self, state: dict) -> None:
+        self.__dict__.update(copy.deepcopy(state))
 
 
 class PageHinkley(DriftDetector):

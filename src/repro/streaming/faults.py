@@ -1,0 +1,164 @@
+"""Stream fault injection — the live-path twin of :mod:`repro.traces.corruption`.
+
+``corruption.py`` damages archived traces so the offline cleaning stage
+can be exercised; this module damages a *stream in flight* so the online
+serving path's resilience can be. It reuses the same fault taxonomy
+(missing cells, missing rows, impulse outliers, duplicated records from
+at-least-once delivery) and adds the two failure modes only a live
+system has: dropped records and refit crashes.
+
+:class:`FaultInjector` wraps any iterable of monitoring records and is
+fully deterministic given ``FaultConfig.seed``. Stream faults and refit
+faults draw from independent generators, so how often the predictor
+refits cannot change which records get corrupted — a property the
+checkpoint/restore equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..traces.corruption import CorruptionConfig
+
+__all__ = ["InjectedFault", "FaultConfig", "FaultInjector"]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by the injector's refit hook to simulate a refit crash."""
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-record fault probabilities for a live stream.
+
+    Rates mirror :class:`~repro.traces.corruption.CorruptionConfig`
+    (``nan_cell_rate`` ↔ ``missing_cell_rate`` and so on); ``drop_rate``
+    and ``refit_failure_rate`` are serving-only faults with no archived
+    equivalent.
+    """
+
+    drop_rate: float = 0.0
+    nan_cell_rate: float = 0.0
+    nan_row_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    outlier_rate: float = 0.0
+    outlier_scale: float = 4.0
+    refit_failure_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name.endswith("_rate"):
+                v = getattr(self, f.name)
+                if not 0.0 <= v < 1.0:
+                    raise ValueError(f"{f.name} must be in [0, 1), got {v}")
+        if self.outlier_scale <= 1.0:
+            raise ValueError("outlier_scale must exceed 1")
+
+    @classmethod
+    def from_corruption(
+        cls,
+        config: CorruptionConfig,
+        drop_rate: float = 0.0,
+        refit_failure_rate: float = 0.0,
+        seed: int | None = None,
+    ) -> "FaultConfig":
+        """Lift an archived-trace corruption profile onto the live stream."""
+        return cls(
+            drop_rate=drop_rate,
+            nan_cell_rate=config.missing_cell_rate,
+            nan_row_rate=config.missing_row_rate,
+            duplicate_rate=config.duplicate_rate,
+            outlier_rate=config.outlier_rate,
+            outlier_scale=config.outlier_scale,
+            refit_failure_rate=refit_failure_rate,
+            seed=config.seed if seed is None else seed,
+        )
+
+    @classmethod
+    def at_level(
+        cls, level: float, refit_failure_rate: float = 0.0, seed: int = 0
+    ) -> "FaultConfig":
+        """A combined fault profile parameterized by one severity knob.
+
+        ``level`` is the NaN-cell rate; the other stream faults scale
+        proportionally (half as many drops/rows/outliers, a quarter as
+        many duplicates) — the shape used by the degradation-curve
+        experiment.
+        """
+        if not 0.0 <= level < 1.0:
+            raise ValueError(f"level must be in [0, 1), got {level}")
+        return cls(
+            drop_rate=level / 2,
+            nan_cell_rate=level,
+            nan_row_rate=level / 2,
+            duplicate_rate=level / 4,
+            outlier_rate=level / 2,
+            refit_failure_rate=refit_failure_rate,
+            seed=seed,
+        )
+
+
+class FaultInjector:
+    """Deterministically fault a record stream and (optionally) refits.
+
+    ``stream()`` yields damaged records while logging, per emitted
+    record, the index of the clean source record it came from
+    (``emitted_from``) — the alignment the degradation experiments need
+    to score predictions against ground truth despite drops and
+    duplicates. ``refit_fault`` is a zero-argument hook to pass as
+    ``OnlinePredictor(refit_fault_hook=...)``; it raises
+    :class:`InjectedFault` with probability ``refit_failure_rate`` per
+    refit attempt.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._stream_rng = np.random.default_rng(config.seed)
+        self._refit_rng = np.random.default_rng(config.seed + 0x5EED)
+        self.emitted_from: list[int] = []
+        self.counts = {
+            "dropped": 0,
+            "nan_cells": 0,
+            "nan_rows": 0,
+            "duplicated": 0,
+            "outlier_records": 0,
+            "refit_faults": 0,
+        }
+
+    def stream(self, records: Iterable[np.ndarray]) -> Iterator[np.ndarray]:
+        """Yield records with faults applied; drops skip, duplicates repeat."""
+        rng = self._stream_rng
+        cfg = self.config
+        for i, rec in enumerate(records):
+            rec = np.atleast_1d(np.asarray(rec, float))
+            if rng.random() < cfg.drop_rate:
+                self.counts["dropped"] += 1
+                continue
+            out = rec.copy()
+            if cfg.outlier_rate and rng.random() < cfg.outlier_rate:
+                out = out * cfg.outlier_scale * rng.uniform(0.5, 1.5)
+                self.counts["outlier_records"] += 1
+            if cfg.nan_cell_rate:
+                cells = rng.random(out.shape) < cfg.nan_cell_rate
+                if cells.any():
+                    out[cells] = np.nan
+                    self.counts["nan_cells"] += int(cells.sum())
+            if cfg.nan_row_rate and rng.random() < cfg.nan_row_rate:
+                out[:] = np.nan
+                self.counts["nan_rows"] += 1
+            self.emitted_from.append(i)
+            yield out
+            if cfg.duplicate_rate and rng.random() < cfg.duplicate_rate:
+                self.counts["duplicated"] += 1
+                self.emitted_from.append(i)
+                yield out.copy()
+
+    def refit_fault(self) -> None:
+        """Refit hook: crash this attempt with ``refit_failure_rate``."""
+        if self._refit_rng.random() < self.config.refit_failure_rate:
+            self.counts["refit_faults"] += 1
+            raise InjectedFault("injected refit failure")

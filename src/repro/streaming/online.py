@@ -1,21 +1,42 @@
-"""Online prediction service: buffer -> predict -> score -> (re)fit.
+"""Online prediction service: gate -> buffer -> predict -> score -> (re)fit.
 
 Prequential protocol: for each arriving record the predictor first emits
 a forecast for it from the previous state (test), then absorbs the record
 (train). Refits happen every ``refit_interval`` records and whenever the
 Page-Hinkley detector fires on the absolute-error stream.
+
+Unlike the first version of this module, the serving loop is built for a
+hostile stream (paper §III-A: data "partially incomplete or has outliers
+due to network anomalies, system interruption etc."):
+
+* every record passes an :class:`~repro.streaming.resilience.InputGate`
+  before it can touch the :class:`RollingBuffer` — NaN or malformed
+  records are repaired or quarantined and *counted*, never absorbed;
+* refits and predictions run under a
+  :class:`~repro.streaming.resilience.Supervisor` (retry + backoff +
+  wall-time budget); repeated refit failure degrades to a registered
+  fallback forecaster instead of killing the service;
+* every :class:`PredictionRecord` carries a
+  :class:`~repro.streaming.resilience.HealthStatus`;
+* the full serving state checkpoints to a single crash-safe artifact
+  (:meth:`OnlinePredictor.save` / :meth:`OnlinePredictor.restore`), so a
+  restarted process resumes mid-stream bit-for-bit.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
 from ..models.base import Forecaster, create_forecaster
 from .buffer import RollingBuffer
+from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
 from .drift import DriftDetector, PageHinkley
+from .resilience import GatePolicy, HealthStatus, InputGate, Supervisor, SupervisorPolicy
 
 __all__ = ["PredictionRecord", "OnlinePredictor"]
 
@@ -25,11 +46,14 @@ class PredictionRecord:
     """One prequential step's outcome."""
 
     step: int
-    prediction: float | None  # None while warming up
+    prediction: float | None  # None while warming up or when quarantined
     actual: float
     error: float | None
     refit: bool
     drift: bool
+    health: HealthStatus = HealthStatus.HEALTHY
+    #: gate verdict for this record: None (clean), "imputed" or "quarantined"
+    gated: str | None = None
 
 
 @dataclass
@@ -39,7 +63,12 @@ class _OnlineStats:
     sum_sq_error: float = 0.0
     n_refits: int = 0
     n_drifts: int = 0
-    errors: list[float] = field(default_factory=list)
+    n_refit_failures: int = 0
+    n_predict_failures: int = 0
+    n_fallback_predictions: int = 0
+    n_clamped_predictions: int = 0
+    #: recent per-step errors; bounded by default (see ``error_history``)
+    errors: deque[float] = field(default_factory=lambda: deque(maxlen=512))
 
     @property
     def mae(self) -> float:
@@ -48,6 +77,33 @@ class _OnlineStats:
     @property
     def mse(self) -> float:
         return self.sum_sq_error / max(self.n_predictions, 1)
+
+    def state_dict(self) -> dict:
+        return {
+            "n_predictions": self.n_predictions,
+            "sum_abs_error": self.sum_abs_error,
+            "sum_sq_error": self.sum_sq_error,
+            "n_refits": self.n_refits,
+            "n_drifts": self.n_drifts,
+            "n_refit_failures": self.n_refit_failures,
+            "n_predict_failures": self.n_predict_failures,
+            "n_fallback_predictions": self.n_fallback_predictions,
+            "n_clamped_predictions": self.n_clamped_predictions,
+            "errors": list(self.errors),
+            "errors_maxlen": self.errors.maxlen,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.n_predictions = int(state["n_predictions"])
+        self.sum_abs_error = float(state["sum_abs_error"])
+        self.sum_sq_error = float(state["sum_sq_error"])
+        self.n_refits = int(state["n_refits"])
+        self.n_drifts = int(state["n_drifts"])
+        self.n_refit_failures = int(state["n_refit_failures"])
+        self.n_predict_failures = int(state["n_predict_failures"])
+        self.n_fallback_predictions = int(state["n_fallback_predictions"])
+        self.n_clamped_predictions = int(state["n_clamped_predictions"])
+        self.errors = deque(state["errors"], maxlen=state["errors_maxlen"])
 
 
 class OnlinePredictor:
@@ -72,6 +128,28 @@ class OnlinePredictor:
     serve_dtype:
         Dtype of the preallocated inference window buffer (e.g.
         ``np.float32`` to serve in single precision; default float64).
+    gate_policy:
+        Input-gate behaviour (imputation / outlier screening); the gate
+        is always on — it is what keeps one NaN record from silently
+        poisoning every later training window.
+    supervisor_policy:
+        Retry/backoff/budget envelope for refits (predictions reuse it
+        with retries disabled — retrying a deterministic forward pass
+        cannot help).
+    fallback_forecaster, fallback_kwargs:
+        Registered forecaster served when the primary is unusable
+        (never fitted, or ``fallback_after`` consecutive refit
+        failures). Must be cheap and hard to break: ``"persistence"``
+        (default), ``"mean"`` or ``"holt"``.
+    error_history:
+        How many recent per-step errors ``stats.errors`` retains
+        (ring-buffer semantics). Pass ``None`` to keep the full stream —
+        opt-in, because an unbounded list in a long-running server is a
+        slow memory leak.
+    refit_fault_hook:
+        Test/chaos hook invoked at the start of every refit attempt;
+        raising from it simulates a refit crash (see
+        :class:`~repro.streaming.faults.FaultInjector.refit_fault`).
     """
 
     def __init__(
@@ -86,6 +164,12 @@ class OnlinePredictor:
         features: int = 1,
         detector: DriftDetector | None = None,
         serve_dtype: np.dtype | type = np.float64,
+        gate_policy: GatePolicy | None = None,
+        supervisor_policy: SupervisorPolicy | None = None,
+        fallback_forecaster: str = "persistence",
+        fallback_kwargs: dict[str, Any] | None = None,
+        error_history: int | None = 512,
+        refit_fault_hook: Callable[[], None] | None = None,
     ) -> None:
         if buffer_capacity < window + 2:
             raise ValueError(
@@ -102,13 +186,47 @@ class OnlinePredictor:
         self.target_col = target_col
         self.buffer = RollingBuffer(buffer_capacity, features)
         self.detector = detector if detector is not None else PageHinkley()
+        self.gate = InputGate(features, gate_policy)
+        self.refit_supervisor = Supervisor(supervisor_policy)
+        # predictions: same budget envelope, but no retries
+        predict_policy = supervisor_policy or SupervisorPolicy()
+        self.predict_supervisor = Supervisor(
+            SupervisorPolicy(
+                max_retries=0,
+                backoff_base=0.0,
+                time_budget=predict_policy.time_budget,
+                fallback_after=predict_policy.fallback_after,
+            )
+        )
+        self.fallback_forecaster = fallback_forecaster
+        self.fallback_kwargs = dict(fallback_kwargs or {})
+        self.fallback_kwargs.setdefault("target_col", target_col)
+        self.refit_fault_hook = refit_fault_hook
         self.model: Forecaster | None = None
-        self.stats = _OnlineStats()
+        self.fallback_model: Forecaster | None = None
+        self.on_fallback = False
+        self.error_history = error_history
+        self.stats = _OnlineStats(errors=deque(maxlen=error_history))
         self._step = 0
         self._since_refit = 0
+        self._serve_dtype = np.dtype(serve_dtype)
         # preallocated (1, window, features) inference input — refilled in
         # place each step instead of re-materializing the buffer tail
         self._hist = np.empty((1, window, features), dtype=serve_dtype)
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def health(self) -> HealthStatus:
+        """Current serving health (also stamped on every record)."""
+        if self.on_fallback:
+            return HealthStatus.FALLBACK
+        if (
+            self.refit_supervisor.consecutive_failures > 0
+            or self.predict_supervisor.consecutive_failures > 0
+        ):
+            return HealthStatus.DEGRADED
+        return HealthStatus.HEALTHY
 
     # -- internals -------------------------------------------------------------
 
@@ -118,27 +236,121 @@ class OnlinePredictor:
         data = self.buffer.view()
         return make_windows(data, data[:, self.target_col], self.window, horizon=1)
 
-    def _refit(self) -> None:
-        x, y = self._windows_from_buffer()
-        self.model = create_forecaster(self.forecaster_name, **self.forecaster_kwargs)
-        self.model.fit(x, y)
-        self.stats.n_refits += 1
-        self._since_refit = 0
+    def _fit_fallback(self) -> None:
+        """Fit the fallback forecaster on the buffer (guarded, never raises)."""
+        try:
+            x, y = self._windows_from_buffer()
+            model = create_forecaster(self.fallback_forecaster, **self.fallback_kwargs)
+            model.fit(x, y)
+            self.fallback_model = model
+        except Exception:  # noqa: BLE001 — last line of defence stays up
+            pass
 
-    def _predict_next(self) -> float | None:
-        if self.model is None or len(self.buffer) < self.window:
-            return None
+    def _refit(self) -> bool:
+        """Supervised refit; on terminal failure degrade instead of raising."""
+
+        def attempt() -> Forecaster:
+            if self.refit_fault_hook is not None:
+                self.refit_fault_hook()
+            x, y = self._windows_from_buffer()
+            model = create_forecaster(self.forecaster_name, **self.forecaster_kwargs)
+            model.fit(x, y)
+            return model
+
+        ok, model = self.refit_supervisor.run(attempt)
+        self._since_refit = 0
+        if ok:
+            self.model = model
+            self.on_fallback = False
+            self.stats.n_refits += 1
+            return True
+        self.stats.n_refit_failures += 1
+        if self.model is None or self.refit_supervisor.should_fall_back:
+            self._fit_fallback()
+            if self.fallback_model is not None:
+                self.on_fallback = True
+        return False
+
+    def _predict_next(self) -> tuple[float | None, bool]:
+        """Return ``(prediction, used_fallback)`` for the next step."""
+        if len(self.buffer) < self.window:
+            return None, False
+        serving = self.fallback_model if self.on_fallback else self.model
+        if serving is None:
+            return None, False
         self.buffer.last_into(self._hist[0])
-        return float(self.model.predict(self._hist)[0, 0])
+
+        def attempt() -> float:
+            return float(serving.predict(self._hist)[0, 0])
+
+        ok, value = self.predict_supervisor.run(attempt)
+        if ok:
+            return self._sanitize_prediction(value), self.on_fallback
+        self.stats.n_predict_failures += 1
+        # primary forward pass blew up: serve from the fallback instead
+        if not self.on_fallback:
+            if self.fallback_model is None:
+                self._fit_fallback()
+            if self.fallback_model is not None:
+                try:
+                    value = float(self.fallback_model.predict(self._hist)[0, 0])
+                    return self._sanitize_prediction(value), True
+                except Exception:  # noqa: BLE001
+                    pass
+        return None, False
+
+    def _sanitize_prediction(self, value: float) -> float | None:
+        """Output guard: reject non-finite, clamp into the plausibility band."""
+        if not np.isfinite(value):
+            self.stats.n_predict_failures += 1
+            return None
+        sigma = self.gate.policy.prediction_sigma
+        if sigma is None:
+            return value
+        band = self.gate.band(sigma)
+        if band is None:
+            return value
+        lo, hi = band[0][self.target_col], band[1][self.target_col]
+        if value < lo or value > hi:
+            self.stats.n_clamped_predictions += 1
+            return float(np.clip(value, lo, hi))
+        return value
 
     # -- API -------------------------------------------------------------------
 
     def process(self, record: np.ndarray) -> PredictionRecord:
-        """Prequential step: predict ``record``'s target, then absorb it."""
-        record = np.atleast_1d(np.asarray(record, float))
-        actual = float(record[self.target_col])
+        """Prequential step: gate ``record``, predict its target, absorb it."""
+        gated = self.gate.check(record)
+        if gated.action == "quarantine":
+            # the record never reaches the buffer or the error stream; the
+            # step still advances so downstream consumers stay aligned
+            try:
+                raw = np.atleast_1d(np.asarray(record, float)).ravel()
+                actual = (
+                    float(raw[self.target_col])
+                    if raw.shape == (self.gate.features,)
+                    else float("nan")
+                )
+            except (TypeError, ValueError, IndexError):
+                actual = float("nan")
+            self._step += 1
+            return PredictionRecord(
+                step=self._step - 1,
+                prediction=None,
+                actual=actual,
+                error=None,
+                refit=False,
+                drift=False,
+                health=self.health,
+                gated="quarantined",
+            )
 
-        prediction = self._predict_next()
+        clean = gated.record
+        actual = float(clean[self.target_col])
+
+        prediction, used_fallback = self._predict_next()
+        if used_fallback:
+            self.stats.n_fallback_predictions += 1
         error = None
         drift = False
         if prediction is not None:
@@ -151,20 +363,24 @@ class OnlinePredictor:
             if drift:
                 self.stats.n_drifts += 1
 
-        self.buffer.append(record)
+        self.buffer.append(clean)
         self._step += 1
         self._since_refit += 1
 
-        needs_fit = self.model is None and len(self.buffer) >= max(
-            self.min_fit_size, self.window + 2
+        needs_fit = (
+            self.model is None
+            and len(self.buffer) >= max(self.min_fit_size, self.window + 2)
+            and (
+                self.refit_supervisor.consecutive_failures == 0
+                or self._since_refit >= self.refit_interval
+            )
         )
         scheduled = self.model is not None and self._since_refit >= self.refit_interval
         refit = False
         if needs_fit or scheduled or (drift and len(self.buffer) >= self.min_fit_size):
-            self._refit()
+            refit = self._refit()
             if drift:
                 self.detector.reset()
-            refit = True
 
         return PredictionRecord(
             step=self._step - 1,
@@ -173,6 +389,8 @@ class OnlinePredictor:
             error=error,
             refit=refit,
             drift=drift,
+            health=HealthStatus.FALLBACK if used_fallback else self.health,
+            gated=gated.reason and "imputed",
         )
 
     def run(self, records: np.ndarray) -> list[PredictionRecord]:
@@ -181,3 +399,94 @@ class OnlinePredictor:
         if records.ndim == 1:
             records = records[:, None]
         return [self.process(row) for row in records]
+
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full serving state: enough to resume the stream bit-for-bit."""
+        return {
+            "config": {
+                "forecaster_name": self.forecaster_name,
+                "forecaster_kwargs": dict(self.forecaster_kwargs),
+                "window": self.window,
+                "buffer_capacity": self.buffer.capacity,
+                "refit_interval": self.refit_interval,
+                "min_fit_size": self.min_fit_size,
+                "target_col": self.target_col,
+                "features": self.buffer.features,
+                "serve_dtype": self._serve_dtype.str,
+                "gate_policy": self.gate.policy,
+                "supervisor_policy": self.refit_supervisor.policy,
+                "fallback_forecaster": self.fallback_forecaster,
+                "fallback_kwargs": dict(self.fallback_kwargs),
+                "error_history": self.error_history,
+            },
+            "step": self._step,
+            "since_refit": self._since_refit,
+            "on_fallback": self.on_fallback,
+            "buffer": self.buffer.state_dict(),
+            "detector": self.detector,  # pickled whole: subclass-agnostic
+            "gate": self.gate.state_dict(),
+            "refit_supervisor": self.refit_supervisor.state_dict(),
+            "predict_supervisor": self.predict_supervisor.state_dict(),
+            "stats": self.stats.state_dict(),
+            "model": None if self.model is None else self.model.to_bytes(),
+            "fallback_model": (
+                None if self.fallback_model is None else self.fallback_model.to_bytes()
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict`; the predictor must match its config."""
+        cfg = state["config"]
+        if (
+            cfg["window"] != self.window
+            or cfg["features"] != self.buffer.features
+            or cfg["buffer_capacity"] != self.buffer.capacity
+            or cfg["forecaster_name"] != self.forecaster_name
+        ):
+            raise CheckpointError(
+                "checkpoint config mismatch: "
+                f"saved (forecaster={cfg['forecaster_name']}, window={cfg['window']}, "
+                f"features={cfg['features']}, capacity={cfg['buffer_capacity']}) vs "
+                f"live (forecaster={self.forecaster_name}, window={self.window}, "
+                f"features={self.buffer.features}, capacity={self.buffer.capacity})"
+            )
+        self._step = int(state["step"])
+        self._since_refit = int(state["since_refit"])
+        self.on_fallback = bool(state["on_fallback"])
+        self.buffer.load_state_dict(state["buffer"])
+        self.detector = state["detector"]
+        self.gate.load_state_dict(state["gate"])
+        self.refit_supervisor.load_state_dict(state["refit_supervisor"])
+        self.predict_supervisor.load_state_dict(state["predict_supervisor"])
+        self.stats.load_state_dict(state["stats"])
+        self.model = None if state["model"] is None else Forecaster.from_bytes(state["model"])
+        self.fallback_model = (
+            None
+            if state["fallback_model"] is None
+            else Forecaster.from_bytes(state["fallback_model"])
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Checkpoint the full serving state atomically (crash-safe)."""
+        write_checkpoint(path, {"kind": "online_predictor", "state": self.state_dict()})
+
+    @classmethod
+    def restore(cls, path: str | Path, **overrides: Any) -> "OnlinePredictor":
+        """Rebuild a predictor from a checkpoint and resume mid-stream.
+
+        ``overrides`` patch constructor arguments that are process-local
+        and deliberately not persisted (``refit_fault_hook``, a live
+        ``detector`` replacement, ...).
+        """
+        artifact = read_checkpoint(path)
+        if not isinstance(artifact, dict) or artifact.get("kind") != "online_predictor":
+            raise CheckpointError(f"{path} does not hold an OnlinePredictor checkpoint")
+        state = artifact["state"]
+        cfg = dict(state["config"])
+        cfg["serve_dtype"] = np.dtype(cfg["serve_dtype"])
+        cfg.update(overrides)
+        predictor = cls(**cfg)
+        predictor.load_state_dict(state)
+        return predictor

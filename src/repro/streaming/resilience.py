@@ -1,0 +1,377 @@
+"""Serving resilience: input gating, supervised execution, health states.
+
+The paper's own data is "partially incomplete or has outliers due to
+network anomalies, system interruption etc." (§III-A) — and a live
+monitoring stream is strictly worse than an archived trace. This module
+gives :class:`~repro.streaming.online.OnlinePredictor` the pieces it
+needs to survive that reality:
+
+* :class:`InputGate` — validates every incoming record *before* it can
+  reach the rolling buffer. Malformed records (wrong arity, all-NaN)
+  are quarantined; partially missing or outlying cells are imputed from
+  per-feature running statistics. Every decision is counted, so data
+  loss is a visible metric instead of silent poison.
+* :class:`Supervisor` — runs refits (and predictions) inside a
+  try/retry envelope with exponential backoff and a wall-time budget,
+  tracking consecutive failures so the predictor knows when to degrade
+  to its fallback forecaster.
+* :class:`HealthStatus` — the three-state health signal stamped on
+  every :class:`~repro.streaming.online.PredictionRecord`.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "HealthStatus",
+    "GatePolicy",
+    "GateResult",
+    "InputGate",
+    "SupervisorPolicy",
+    "Supervisor",
+]
+
+T = TypeVar("T")
+
+
+class HealthStatus(str, enum.Enum):
+    """Serving health emitted with every prediction record.
+
+    ``HEALTHY``  — the primary forecaster is fitted and serving.
+    ``DEGRADED`` — the primary still serves but recent refits or
+    predictions failed (the supervisor is retrying).
+    ``FALLBACK`` — predictions come from the registered fallback
+    forecaster because the primary is unusable.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FALLBACK = "fallback"
+
+
+# ---------------------------------------------------------------------------
+# input gate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GatePolicy:
+    """How the input gate treats suspect records.
+
+    Parameters
+    ----------
+    impute:
+        Repair strategy for partially missing records: ``"last"`` fills
+        NaN cells with the most recent accepted value for that feature,
+        ``"mean"`` with its running mean, ``"drop"`` quarantines any
+        record containing a non-finite cell.
+    outlier_sigma:
+        If set, cells further than ``outlier_sigma`` running standard
+        deviations from their feature's running mean are treated per
+        ``outlier_action``. ``None`` disables outlier screening.
+    outlier_action:
+        ``"clamp"`` pulls the offending cell back to the band edge,
+        ``"quarantine"`` drops the whole record.
+    min_history:
+        Accepted records required before outlier screening arms (the
+        running moments are meaningless earlier).
+    prediction_sigma:
+        Output-side guard: served predictions are clamped into
+        ``mean ± prediction_sigma * std`` of the gated stream (a model
+        extrapolating a corrupted window can forecast far outside any
+        value the stream has ever taken). ``None`` disables clamping.
+    """
+
+    impute: str = "last"
+    outlier_sigma: float | None = None
+    outlier_action: str = "clamp"
+    min_history: int = 20
+    prediction_sigma: float | None = 6.0
+
+    def __post_init__(self) -> None:
+        if self.impute not in ("last", "mean", "drop"):
+            raise ValueError(f"impute must be 'last', 'mean' or 'drop', got {self.impute!r}")
+        if self.outlier_action not in ("clamp", "quarantine"):
+            raise ValueError(
+                f"outlier_action must be 'clamp' or 'quarantine', got {self.outlier_action!r}"
+            )
+        if self.outlier_sigma is not None and self.outlier_sigma <= 0:
+            raise ValueError(f"outlier_sigma must be positive, got {self.outlier_sigma}")
+        if self.prediction_sigma is not None and self.prediction_sigma <= 0:
+            raise ValueError(f"prediction_sigma must be positive, got {self.prediction_sigma}")
+        if self.min_history < 2:
+            raise ValueError(f"min_history must be >= 2, got {self.min_history}")
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of gating one record.
+
+    ``action`` is ``"accept"``, ``"impute"`` or ``"quarantine"``;
+    ``record`` holds the (possibly repaired) record for the first two
+    and ``None`` when quarantined; ``reason`` names the defect class
+    (``"arity"``, ``"empty"``, ``"missing"``, ``"outlier"``, ...).
+    """
+
+    action: str
+    record: np.ndarray | None
+    reason: str | None = None
+
+
+class InputGate:
+    """Validate, repair or quarantine records before they enter the buffer.
+
+    Keeps per-feature running moments (Welford) over *accepted* data
+    only, so corrupt records cannot skew the statistics used to judge
+    later ones. All counters are plain ints — cheap to read, cheap to
+    checkpoint.
+    """
+
+    def __init__(self, features: int, policy: GatePolicy | None = None) -> None:
+        if features < 1:
+            raise ValueError(f"features must be >= 1, got {features}")
+        self.features = features
+        self.policy = policy or GatePolicy()
+        self.n_seen = 0
+        self.n_accepted = 0
+        self.n_imputed = 0
+        self.n_quarantined = 0
+        self.reasons: Counter[str] = Counter()
+        self._last = np.full(features, np.nan)
+        self._count = 0
+        self._mean = np.zeros(features)
+        self._m2 = np.zeros(features)
+
+    # -- internals -------------------------------------------------------------
+
+    def _quarantine(self, reason: str) -> GateResult:
+        self.n_quarantined += 1
+        self.reasons[reason] += 1
+        return GateResult("quarantine", None, reason)
+
+    def _absorb(self, record: np.ndarray) -> None:
+        self._last = record.copy()
+        self._count += 1
+        delta = record - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (record - self._mean)
+
+    def _running_std(self) -> np.ndarray:
+        if self._count < 2:
+            return np.zeros(self.features)
+        return np.sqrt(self._m2 / (self._count - 1))
+
+    def band(self, sigma: float) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(lo, hi)`` plausibility band per feature, or None before arming."""
+        if self._count < self.policy.min_history:
+            return None
+        std = self._running_std()
+        return self._mean - sigma * std, self._mean + sigma * std
+
+    # -- API -------------------------------------------------------------------
+
+    def check(self, record: Any) -> GateResult:
+        """Gate one incoming record; never raises on malformed input."""
+        self.n_seen += 1
+        try:
+            arr = np.atleast_1d(np.asarray(record, float)).ravel()
+        except (TypeError, ValueError):
+            return self._quarantine("unparseable")
+        if arr.shape != (self.features,):
+            return self._quarantine("arity")
+
+        repaired = arr.copy()
+        finite = np.isfinite(arr)
+        reason: str | None = None
+        if not finite.any():
+            return self._quarantine("empty")
+        if not finite.all():
+            if self.policy.impute == "drop":
+                return self._quarantine("missing")
+            fill = self._last if self.policy.impute == "last" else self._mean
+            usable = np.isfinite(fill) if self.policy.impute == "last" else self._count > 0
+            if not np.all(np.where(finite, True, usable)):
+                # a missing cell with no history to impute from
+                return self._quarantine("no_history")
+            repaired[~finite] = fill[~finite]
+            reason = "missing"
+
+        if self.policy.outlier_sigma is not None and self._count >= self.policy.min_history:
+            std = self._running_std()
+            band = self.policy.outlier_sigma * std
+            wild = (std > 0) & (np.abs(repaired - self._mean) > band)
+            if wild.any():
+                clamped = repaired.copy()
+                clamped[wild] = (
+                    self._mean[wild]
+                    + np.sign(repaired[wild] - self._mean[wild]) * band[wild]
+                )
+                if self.policy.outlier_action == "quarantine":
+                    # the record is dropped, but the *clamped* value still
+                    # feeds the running moments: a genuine regime shift keeps
+                    # pulling the band toward itself (bounded influence) and
+                    # gets re-admitted, while an impulse fault barely moves it
+                    self._absorb(clamped)
+                    return self._quarantine("outlier")
+                repaired = clamped
+                reason = "outlier" if reason is None else reason
+
+        self._absorb(repaired)
+        if reason is None:
+            self.n_accepted += 1
+            return GateResult("accept", repaired)
+        self.n_imputed += 1
+        self.reasons[reason] += 1
+        return GateResult("impute", repaired, reason)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "n_seen": self.n_seen,
+            "n_accepted": self.n_accepted,
+            "n_imputed": self.n_imputed,
+            "n_quarantined": self.n_quarantined,
+            "reasons": dict(self.reasons),
+            "last": self._last.copy(),
+            "count": self._count,
+            "mean": self._mean.copy(),
+            "m2": self._m2.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.n_seen = int(state["n_seen"])
+        self.n_accepted = int(state["n_accepted"])
+        self.n_imputed = int(state["n_imputed"])
+        self.n_quarantined = int(state["n_quarantined"])
+        self.reasons = Counter(state["reasons"])
+        self._last = np.asarray(state["last"], float).copy()
+        self._count = int(state["count"])
+        self._mean = np.asarray(state["mean"], float).copy()
+        self._m2 = np.asarray(state["m2"], float).copy()
+
+
+# ---------------------------------------------------------------------------
+# supervised execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Retry/backoff/budget envelope for supervised calls.
+
+    ``max_retries`` extra attempts follow a failed call, separated by
+    ``backoff_base * backoff_factor**attempt`` seconds (capped at
+    ``backoff_max``; a base of 0 disables sleeping, which tests use).
+    ``time_budget`` is a wall-clock allowance spanning all attempts of
+    one call: once exhausted no further retries are made, and a call
+    that succeeds over budget is counted in ``n_budget_exceeded``.
+    After ``fallback_after`` consecutive failed calls the owner should
+    switch to its fallback forecaster (:meth:`Supervisor.should_fall_back`).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    time_budget: float | None = None
+    fallback_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ValueError("backoff parameters must be non-negative (factor >= 1)")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ValueError(f"time_budget must be positive, got {self.time_budget}")
+        if self.fallback_after < 1:
+            raise ValueError(f"fallback_after must be >= 1, got {self.fallback_after}")
+
+
+class Supervisor:
+    """Execute callables under the failure-isolation policy.
+
+    One instance supervises one duty (the predictor keeps separate
+    instances for refits and predictions, so a flaky refit path does not
+    mask a healthy serving path). Exceptions never escape
+    :meth:`run` — the caller gets ``(ok, result)`` and decides how to
+    degrade.
+    """
+
+    def __init__(
+        self,
+        policy: SupervisorPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy or SupervisorPolicy()
+        self._sleep = sleep
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.total_retries = 0
+        self.n_calls = 0
+        self.n_budget_exceeded = 0
+        self.last_error: str | None = None
+
+    @property
+    def should_fall_back(self) -> bool:
+        return self.consecutive_failures >= self.policy.fallback_after
+
+    def run(self, fn: Callable[[], T]) -> tuple[bool, T | None]:
+        """Call ``fn`` with retries; return ``(True, result)`` or ``(False, None)``."""
+        self.n_calls += 1
+        start = time.perf_counter()
+        attempt = 0
+        while True:
+            try:
+                result = fn()
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                elapsed = time.perf_counter() - start
+                out_of_budget = (
+                    self.policy.time_budget is not None and elapsed >= self.policy.time_budget
+                )
+                if attempt >= self.policy.max_retries or out_of_budget:
+                    self.consecutive_failures += 1
+                    self.total_failures += 1
+                    return False, None
+                delay = min(
+                    self.policy.backoff_base * self.policy.backoff_factor**attempt,
+                    self.policy.backoff_max,
+                )
+                if delay > 0:
+                    self._sleep(delay)
+                attempt += 1
+                self.total_retries += 1
+            else:
+                elapsed = time.perf_counter() - start
+                if self.policy.time_budget is not None and elapsed > self.policy.time_budget:
+                    self.n_budget_exceeded += 1
+                self.consecutive_failures = 0
+                return True, result
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_retries": self.total_retries,
+            "n_calls": self.n_calls,
+            "n_budget_exceeded": self.n_budget_exceeded,
+            "last_error": self.last_error,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.consecutive_failures = int(state["consecutive_failures"])
+        self.total_failures = int(state["total_failures"])
+        self.total_retries = int(state["total_retries"])
+        self.n_calls = int(state["n_calls"])
+        self.n_budget_exceeded = int(state["n_budget_exceeded"])
+        self.last_error = state["last_error"]

@@ -94,7 +94,13 @@ class EarlyStopping(Callback):
 
 
 class ModelCheckpoint(Callback):
-    """Save model weights whenever the monitored metric improves."""
+    """Save model weights whenever the monitored metric improves.
+
+    Writes are crash-safe: :meth:`Module.save` stages the archive in a
+    temp file and publishes it with ``os.replace``, so a process killed
+    mid-epoch never leaves a truncated ``.npz`` over the last good
+    checkpoint.
+    """
 
     def __init__(self, path: str | Path, monitor: str = "val_loss") -> None:
         self.path = Path(path)
@@ -109,7 +115,6 @@ class ModelCheckpoint(Callback):
             )
         if current < self.best:
             self.best = current
-            self.path.parent.mkdir(parents=True, exist_ok=True)
             model.save(self.path)
 
 

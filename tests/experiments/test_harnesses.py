@@ -144,6 +144,33 @@ class TestConvergenceHarnesses:
         assert all(len(c) > 0 for c in res.curves.values())
 
 
+class TestResilienceHarness:
+    def test_degradation_curve_structure(self):
+        from repro.experiments import run_resilience
+
+        res = run_resilience(TINY, levels=(0.0, 0.1))
+        assert [r.level for r in res.per_level] == [0.0, 0.1]
+        assert res.baseline_mae == res.per_level[0].mae_vs_clean
+        assert res.degradation(0.0) == pytest.approx(1.0)
+        clean, faulted = res.per_level
+        # the clean level injects nothing; the faulted one injects everything
+        assert all(v == 0 for v in clean.injected.values())
+        assert sum(faulted.injected.values()) > 0
+        assert faulted.n_quarantined > 0
+        for r in res.per_level:
+            assert np.isfinite(r.mae_vs_clean)
+            assert 0.0 < r.availability <= 1.0
+            assert r.n_served <= r.n_emitted
+
+    def test_is_bounded_threshold(self):
+        from repro.experiments import run_resilience
+
+        res = run_resilience(TINY, levels=(0.0, 0.05))
+        worst = max(res.degradation(r.level) for r in res.per_level)
+        assert res.is_bounded(worst + 0.01)
+        assert not res.is_bounded(worst - 0.01)
+
+
 class TestRunnerCLI:
     def test_main_single_experiment(self, capsys):
         from repro.experiments import runner
