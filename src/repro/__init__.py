@@ -19,6 +19,7 @@ from . import (  # noqa: E402  (re-exported subpackages)
     experiments,
     models,
     nn,
+    obs,
     scheduling,
     streaming,
     traces,
@@ -36,4 +37,5 @@ __all__ = [
     "allocation",
     "scheduling",
     "streaming",
+    "obs",
 ]

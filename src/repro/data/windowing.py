@@ -13,9 +13,12 @@ from typing import Iterator
 
 import numpy as np
 
+from ..obs.profile import profiled
+
 __all__ = ["make_windows", "chronological_split", "SplitIndices", "WindowDataset"]
 
 
+@profiled(name="data.make_windows")
 def make_windows(
     features: np.ndarray,
     target: np.ndarray,

@@ -4,6 +4,12 @@ Usage::
 
     python -m repro.experiments.runner --experiment table2 --profile default
     python -m repro.experiments.runner --experiment all --profile quick
+    python -m repro.experiments.runner -e resilience --metrics-out metrics.prom
+
+``--metrics-out`` snapshots the process metric registry (gate/supervisor
+counters, serving latency histograms, trainer gauges, nn plan-cache
+stats) after every experiment — Prometheus text format for ``.prom`` /
+``.txt`` paths, JSONL for ``.json`` / ``.jsonl``.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import time
 import numpy as np
 
 from ..analysis.reporting import format_table, format_table2, render_ascii_series
+from ..obs.export import write_snapshot
 from .accuracy import run_table2
 from .characterization import run_fig1, run_fig2, run_fig3, run_fig7
 from .config import PROFILES
@@ -203,6 +210,13 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(PROFILES),
         help="sizing profile (quick/default/paper)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot after every experiment "
+        "(.prom/.txt = Prometheus text format, .json/.jsonl = JSONL)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "all":
@@ -216,6 +230,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n=== {name} (profile={args.profile}) " + "=" * 30)
         _RUNNERS[name](args.profile)
         print(f"--- {name} done in {time.time() - t0:.1f}s")
+        if args.metrics_out:
+            path = write_snapshot(args.metrics_out)
+            print(f"metrics snapshot -> {path}")
     return 0
 
 

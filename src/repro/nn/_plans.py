@@ -26,7 +26,17 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["gather_indices", "einsum_path", "planned_einsum", "fold_cols", "conv_out_length"]
+from ..obs.registry import MetricRegistry, get_registry
+
+__all__ = [
+    "gather_indices",
+    "einsum_path",
+    "planned_einsum",
+    "fold_cols",
+    "conv_out_length",
+    "plan_cache_stats",
+    "register_plan_metrics",
+]
 
 
 def conv_out_length(length: int, kernel_size: int, dilation: int, stride: int) -> int:
@@ -106,3 +116,54 @@ def fold_cols(
         off = tap * dilation
         gxp[:, :, off : off + span : stride] += gcols[:, :, tap, :]
     return gxp
+
+
+# ---------------------------------------------------------------------------
+# observability: plan-cache hit/miss counters
+# ---------------------------------------------------------------------------
+
+_PLAN_CACHES = {
+    "gather_indices": gather_indices,
+    "gather_indices_flat": gather_indices_flat,
+    "einsum_path": einsum_path,
+}
+
+
+def plan_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/size snapshot of every kernel plan cache."""
+    stats: dict[str, dict[str, int]] = {}
+    for name, fn in _PLAN_CACHES.items():
+        info = fn.cache_info()
+        stats[name] = {"hits": info.hits, "misses": info.misses, "size": info.currsize}
+    return stats
+
+
+def register_plan_metrics(registry: MetricRegistry | None = None) -> None:
+    """Mirror the plan caches into ``registry`` at every collection.
+
+    The hot path pays nothing: ``lru_cache`` already tracks hits and
+    misses, and a registry collector copies ``cache_info()`` into
+    ``nn_plan_cache_{hits,misses}_total`` counters and an
+    ``nn_plan_cache_size`` gauge only when a snapshot is taken. The
+    process-global registry is wired at import; tests with injected
+    registries call this themselves.
+    """
+    reg = get_registry(registry)
+
+    def collect() -> None:
+        for name, stats in plan_cache_stats().items():
+            labels = {"cache": name}
+            reg.counter(
+                "nn_plan_cache_hits_total", "kernel plan cache hits", labels
+            ).restore(stats["hits"])
+            reg.counter(
+                "nn_plan_cache_misses_total", "kernel plan cache misses", labels
+            ).restore(stats["misses"])
+            reg.gauge(
+                "nn_plan_cache_size", "cached kernel plans", labels
+            ).set(stats["size"])
+
+    reg.add_collector(collect, name="nn_plan_caches")
+
+
+register_plan_metrics()

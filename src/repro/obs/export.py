@@ -1,0 +1,151 @@
+"""Metric exporters: Prometheus text format, JSONL snapshots, summaries.
+
+All file writes go through :func:`repro.ioutil.atomic_output`, so a
+process killed mid-export can never leave a truncated snapshot for a
+scraper or the next analysis step to choke on. The Prometheus output is
+the standard text exposition format (``# HELP`` / ``# TYPE`` comments,
+cumulative ``_bucket{le=...}`` histogram series), so a real scrape
+target can serve it verbatim; the JSONL output is one self-contained
+series object per line for offline tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any
+
+from ..ioutil import atomic_output
+from .registry import MetricRegistry, get_registry
+
+__all__ = [
+    "prometheus_text",
+    "jsonl_text",
+    "summary",
+    "write_snapshot",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _sanitize_name(name: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{_sanitize_name(k)}="{_escape_label(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _num(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricRegistry | None = None) -> str:
+    """Render every series in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for series in get_registry(registry).collect():
+        name = _sanitize_name(series["name"])
+        if name not in typed:
+            typed.add(name)
+            if series["help"]:
+                lines.append(f"# HELP {name} {series['help']}")
+            lines.append(f"# TYPE {name} {series['kind']}")
+        labels = series["labels"]
+        if series["kind"] in ("counter", "gauge"):
+            lines.append(f"{name}{_labels_text(labels)} {_num(series['value'])}")
+            continue
+        running = 0
+        for bound, count in zip(series["bounds"], series["bucket_counts"]):
+            running += count
+            le = _labels_text(labels, f'le="{bound:g}"')
+            lines.append(f"{name}_bucket{le} {running}")
+        le = _labels_text(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{le} {series['count']}")
+        lines.append(f"{name}_sum{_labels_text(labels)} {_num(series['sum'])}")
+        lines.append(f"{name}_count{_labels_text(labels)} {series['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def jsonl_text(registry: MetricRegistry | None = None) -> str:
+    """One JSON object per series, schema-tagged for offline tooling."""
+    snap = get_registry(registry).snapshot()
+    lines = [json.dumps({"schema": snap["schema"]}, sort_keys=True)]
+    for series in snap["series"]:
+        lines.append(json.dumps(_jsonable(series), sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # 'inf'/'nan' — JSON has no literals for these
+    return value
+
+
+def summary(registry: MetricRegistry | None = None) -> str:
+    """Human-readable table of every series (name, labels, headline stats)."""
+    rows: list[tuple[str, str, str, str]] = []
+    for series in get_registry(registry).collect():
+        labels = ",".join(f"{k}={v}" for k, v in series["labels"]) or "-"
+        if series["kind"] == "histogram":
+            if series["count"]:
+                q = series["quantiles"]
+                stat = (
+                    f"n={series['count']} mean={series['sum'] / series['count']:.6g} "
+                    f"p50={q['p50']:.6g} p99={q['p99']:.6g} max={series['max']:.6g}"
+                )
+            else:
+                stat = "n=0"
+        else:
+            stat = f"{series['value']:.6g}"
+        rows.append((series["name"], series["kind"], labels, stat))
+    if not rows:
+        return "(no metrics recorded)\n"
+    headers = ("metric", "kind", "labels", "value")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(4)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*row) for row in rows]
+    return "\n".join(lines) + "\n"
+
+
+def write_snapshot(
+    path: str | Path,
+    registry: MetricRegistry | None = None,
+    fmt: str | None = None,
+) -> Path:
+    """Atomically write a metrics snapshot; format follows the extension.
+
+    ``.json``/``.jsonl`` produce JSONL; anything else (``.prom``,
+    ``.txt``, ...) produces Prometheus text format. Pass ``fmt`` to
+    override (``"prometheus"`` or ``"jsonl"``).
+    """
+    path = Path(path)
+    if fmt is None:
+        fmt = "jsonl" if path.suffix.lower() in (".json", ".jsonl") else "prometheus"
+    if fmt not in ("prometheus", "jsonl"):
+        raise ValueError(f"unknown snapshot format {fmt!r}")
+    text = prometheus_text(registry) if fmt == "prometheus" else jsonl_text(registry)
+    with atomic_output(path, suffix=path.suffix or ".tmp") as tmp:
+        tmp.write_text(text)
+    return path

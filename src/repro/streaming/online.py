@@ -25,6 +25,7 @@ due to network anomalies, system interruption etc."):
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,10 +34,17 @@ from typing import Any, Callable
 import numpy as np
 
 from ..models.base import Forecaster, create_forecaster
+from ..obs import trace
+from ..obs.registry import Gauge as MetricGauge
+from ..obs.registry import Histogram as MetricHistogram
+from ..obs.registry import MetricRegistry, get_registry, is_enabled, log_buckets
 from .buffer import RollingBuffer
 from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
 from .drift import DriftDetector, PageHinkley
 from .resilience import GatePolicy, HealthStatus, InputGate, Supervisor, SupervisorPolicy
+
+#: numeric encoding of :class:`HealthStatus` for the health gauge
+_HEALTH_LEVEL = {HealthStatus.HEALTHY: 0, HealthStatus.DEGRADED: 1, HealthStatus.FALLBACK: 2}
 
 __all__ = ["PredictionRecord", "OnlinePredictor"]
 
@@ -150,6 +158,19 @@ class OnlinePredictor:
         Test/chaos hook invoked at the start of every refit attempt;
         raising from it simulates a refit crash (see
         :class:`~repro.streaming.faults.FaultInjector.refit_fault`).
+    registry:
+        :class:`~repro.obs.MetricRegistry` receiving the serving metrics
+        (per-record latency histogram, health gauge, refit/drift/fallback
+        counters, plus the gate and supervisor instruments). ``None``
+        uses the process-global registry. Optional telemetry respects
+        :func:`repro.obs.set_enabled`; the gate/supervisor counts are
+        serving state and always record.
+    span_sample:
+        Open a ``serving.process`` trace span on every ``span_sample``-th
+        record (default 8). The latency histogram still sees *every*
+        record — sampling only thins the trace tree, the standard
+        tracing trade-off on per-record hot paths. Pass ``1`` to trace
+        every record.
     """
 
     def __init__(
@@ -170,7 +191,11 @@ class OnlinePredictor:
         fallback_kwargs: dict[str, Any] | None = None,
         error_history: int | None = 512,
         refit_fault_hook: Callable[[], None] | None = None,
+        registry: MetricRegistry | None = None,
+        span_sample: int = 8,
     ) -> None:
+        if span_sample < 1:
+            raise ValueError(f"span_sample must be >= 1, got {span_sample}")
         if buffer_capacity < window + 2:
             raise ValueError(
                 f"buffer_capacity ({buffer_capacity}) must exceed window+1 ({window + 1})"
@@ -186,8 +211,9 @@ class OnlinePredictor:
         self.target_col = target_col
         self.buffer = RollingBuffer(buffer_capacity, features)
         self.detector = detector if detector is not None else PageHinkley()
-        self.gate = InputGate(features, gate_policy)
-        self.refit_supervisor = Supervisor(supervisor_policy)
+        obs_registry = get_registry(registry)
+        self.gate = InputGate(features, gate_policy, registry=obs_registry)
+        self.refit_supervisor = Supervisor(supervisor_policy, duty="refit", registry=obs_registry)
         # predictions: same budget envelope, but no retries
         predict_policy = supervisor_policy or SupervisorPolicy()
         self.predict_supervisor = Supervisor(
@@ -196,8 +222,38 @@ class OnlinePredictor:
                 backoff_base=0.0,
                 time_budget=predict_policy.time_budget,
                 fallback_after=predict_policy.fallback_after,
-            )
+            ),
+            duty="predict",
+            registry=obs_registry,
         )
+        # serving telemetry: per-record latency, health level, event mirrors
+        self._h_latency = MetricHistogram(
+            "serving_process_seconds",
+            "per-record prequential step latency",
+            buckets=log_buckets(1e-6, 10.0),
+        )
+        self._g_health = MetricGauge(
+            "serving_health_state", "0=healthy 1=degraded 2=fallback"
+        )
+        self._obs_counters = {
+            name: obs_registry.counter(f"serving_{name}_total", help)
+            for name, help in (
+                ("predictions", "predictions served"),
+                ("refits", "successful refits"),
+                ("refit_failures", "terminally failed refits"),
+                ("drift_events", "drift detector firings"),
+                ("fallback_predictions", "predictions served by the fallback"),
+                ("clamped_predictions", "predictions clamped into the plausibility band"),
+            )
+        }
+        for inst in (self._h_latency, self._g_health):
+            obs_registry.register(inst)
+        # hot-path aliases: process() runs per record, so spare it the dict
+        # lookups and only touch the health gauge when the level changes
+        self._c_predictions = self._obs_counters["predictions"]
+        self._last_health_level: int | None = None
+        self._span_sample = span_sample
+        self._span_tick = 0
         self.fallback_forecaster = fallback_forecaster
         self.fallback_kwargs = dict(fallback_kwargs or {})
         self.fallback_kwargs.setdefault("target_col", target_col)
@@ -319,7 +375,51 @@ class OnlinePredictor:
     # -- API -------------------------------------------------------------------
 
     def process(self, record: np.ndarray) -> PredictionRecord:
-        """Prequential step: gate ``record``, predict its target, absorb it."""
+        """Prequential step: gate ``record``, predict its target, absorb it.
+
+        When observability is enabled every step's latency lands in the
+        ``serving_process_seconds`` histogram, the health gauge tracks
+        the stamped :class:`HealthStatus`, refit/drift/fallback events
+        mirror into registry counters, and every ``span_sample``-th step
+        runs inside a ``serving.process`` trace span.
+        """
+        if not is_enabled():
+            return self._process_inner(record)
+        st = self.stats
+        b_refits = st.n_refits
+        b_refit_failures = st.n_refit_failures
+        b_drifts = st.n_drifts
+        b_fallback = st.n_fallback_predictions
+        b_clamped = st.n_clamped_predictions
+        t0 = time.perf_counter()
+        self._span_tick += 1
+        if self._span_tick >= self._span_sample:
+            self._span_tick = 0
+            with trace.span("serving.process"):
+                result = self._process_inner(record)
+        else:
+            result = self._process_inner(record)
+        self._h_latency.observe(time.perf_counter() - t0)
+        level = _HEALTH_LEVEL[result.health]
+        if level != self._last_health_level:
+            self._last_health_level = level
+            self._g_health.set(level)
+        if result.prediction is not None:
+            self._c_predictions.inc()
+        counters = self._obs_counters
+        if st.n_refits != b_refits:
+            counters["refits"].inc(st.n_refits - b_refits)
+        if st.n_refit_failures != b_refit_failures:
+            counters["refit_failures"].inc(st.n_refit_failures - b_refit_failures)
+        if st.n_drifts != b_drifts:
+            counters["drift_events"].inc(st.n_drifts - b_drifts)
+        if st.n_fallback_predictions != b_fallback:
+            counters["fallback_predictions"].inc(st.n_fallback_predictions - b_fallback)
+        if st.n_clamped_predictions != b_clamped:
+            counters["clamped_predictions"].inc(st.n_clamped_predictions - b_clamped)
+        return result
+
+    def _process_inner(self, record: np.ndarray) -> PredictionRecord:
         gated = self.gate.check(record)
         if gated.action == "quarantine":
             # the record never reaches the buffer or the error stream; the
@@ -398,7 +498,10 @@ class OnlinePredictor:
         records = np.asarray(records, float)
         if records.ndim == 1:
             records = records[:, None]
-        return [self.process(row) for row in records]
+        with trace.span("serving.run") as sp:
+            out = [self.process(row) for row in records]
+            sp.add("records", len(out))
+        return out
 
     # -- checkpoint / restore ----------------------------------------------------
 

@@ -29,6 +29,10 @@ from typing import Any, Callable, TypeVar
 
 import numpy as np
 
+from ..obs.registry import Counter as MetricCounter
+from ..obs.registry import Gauge as MetricGauge
+from ..obs.registry import MetricRegistry, get_registry
+
 __all__ = [
     "HealthStatus",
     "GatePolicy",
@@ -130,30 +134,83 @@ class InputGate:
 
     Keeps per-feature running moments (Welford) over *accepted* data
     only, so corrupt records cannot skew the statistics used to judge
-    later ones. All counters are plain ints — cheap to read, cheap to
-    checkpoint.
+    later ones. Every decision counts into :mod:`repro.obs` instruments
+    registered with ``registry`` (default: the process-global registry),
+    aggregated across gates in exported snapshots; the historical
+    ``n_seen``/``n_accepted``/``n_imputed``/``n_quarantined``/``reasons``
+    attributes remain as exact per-instance views. These counts are
+    serving state (checkpointed, asserted on), so they record regardless
+    of the :func:`repro.obs.set_enabled` switch.
     """
 
-    def __init__(self, features: int, policy: GatePolicy | None = None) -> None:
+    def __init__(
+        self,
+        features: int,
+        policy: GatePolicy | None = None,
+        registry: MetricRegistry | None = None,
+    ) -> None:
         if features < 1:
             raise ValueError(f"features must be >= 1, got {features}")
         self.features = features
         self.policy = policy or GatePolicy()
-        self.n_seen = 0
-        self.n_accepted = 0
-        self.n_imputed = 0
-        self.n_quarantined = 0
-        self.reasons: Counter[str] = Counter()
+        self._registry = get_registry(registry)
+        self._c_seen = MetricCounter(
+            "serving_gate_seen_total", "records offered to the input gate"
+        )
+        self._c_actions = {
+            action: MetricCounter(
+                "serving_gate_records_total",
+                "gate verdicts by action",
+                {"action": action},
+            )
+            for action in ("accept", "impute", "quarantine")
+        }
+        self._c_reasons: dict[str, MetricCounter] = {}
+        for inst in (self._c_seen, *self._c_actions.values()):
+            self._registry.register(inst)
         self._last = np.full(features, np.nan)
         self._count = 0
         self._mean = np.zeros(features)
         self._m2 = np.zeros(features)
 
+    # -- counter views ----------------------------------------------------------
+
+    @property
+    def n_seen(self) -> int:
+        return int(self._c_seen.value)
+
+    @property
+    def n_accepted(self) -> int:
+        return int(self._c_actions["accept"].value)
+
+    @property
+    def n_imputed(self) -> int:
+        return int(self._c_actions["impute"].value)
+
+    @property
+    def n_quarantined(self) -> int:
+        return int(self._c_actions["quarantine"].value)
+
+    @property
+    def reasons(self) -> Counter[str]:
+        """Per-reason defect counts (view over the registry instruments)."""
+        return Counter({k: int(c.value) for k, c in self._c_reasons.items() if c.value})
+
+    def _count_reason(self, reason: str) -> None:
+        counter = self._c_reasons.get(reason)
+        if counter is None:
+            counter = MetricCounter(
+                "serving_gate_reasons_total", "gate defect classes", {"reason": reason}
+            )
+            self._registry.register(counter)
+            self._c_reasons[reason] = counter
+        counter.inc()
+
     # -- internals -------------------------------------------------------------
 
     def _quarantine(self, reason: str) -> GateResult:
-        self.n_quarantined += 1
-        self.reasons[reason] += 1
+        self._c_actions["quarantine"].inc()
+        self._count_reason(reason)
         return GateResult("quarantine", None, reason)
 
     def _absorb(self, record: np.ndarray) -> None:
@@ -179,7 +236,7 @@ class InputGate:
 
     def check(self, record: Any) -> GateResult:
         """Gate one incoming record; never raises on malformed input."""
-        self.n_seen += 1
+        self._c_seen.inc()
         try:
             arr = np.atleast_1d(np.asarray(record, float)).ravel()
         except (TypeError, ValueError):
@@ -225,10 +282,10 @@ class InputGate:
 
         self._absorb(repaired)
         if reason is None:
-            self.n_accepted += 1
+            self._c_actions["accept"].inc()
             return GateResult("accept", repaired)
-        self.n_imputed += 1
-        self.reasons[reason] += 1
+        self._c_actions["impute"].inc()
+        self._count_reason(reason)
         return GateResult("impute", repaired, reason)
 
     # -- checkpointing ---------------------------------------------------------
@@ -247,11 +304,15 @@ class InputGate:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        self.n_seen = int(state["n_seen"])
-        self.n_accepted = int(state["n_accepted"])
-        self.n_imputed = int(state["n_imputed"])
-        self.n_quarantined = int(state["n_quarantined"])
-        self.reasons = Counter(state["reasons"])
+        self._c_seen.restore(int(state["n_seen"]))
+        self._c_actions["accept"].restore(int(state["n_accepted"]))
+        self._c_actions["impute"].restore(int(state["n_imputed"]))
+        self._c_actions["quarantine"].restore(int(state["n_quarantined"]))
+        for counter in self._c_reasons.values():
+            counter.restore(0)
+        for reason, count in dict(state["reasons"]).items():
+            self._count_reason(reason)
+            self._c_reasons[reason].restore(int(count))
         self._last = np.asarray(state["last"], float).copy()
         self._count = int(state["count"])
         self._mean = np.asarray(state["mean"], float).copy()
@@ -303,21 +364,74 @@ class Supervisor:
     mask a healthy serving path). Exceptions never escape
     :meth:`run` — the caller gets ``(ok, result)`` and decides how to
     degrade.
+
+    Call/retry/failure counts live in :mod:`repro.obs` instruments
+    labelled by ``duty`` and registered with ``registry`` (default: the
+    process-global one); the historical ``n_calls``/``total_retries``/
+    ``total_failures``/``n_budget_exceeded``/``consecutive_failures``
+    attributes remain as exact per-instance views.
     """
 
     def __init__(
         self,
         policy: SupervisorPolicy | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        duty: str = "call",
+        registry: MetricRegistry | None = None,
     ) -> None:
         self.policy = policy or SupervisorPolicy()
         self._sleep = sleep
-        self.consecutive_failures = 0
-        self.total_failures = 0
-        self.total_retries = 0
-        self.n_calls = 0
-        self.n_budget_exceeded = 0
+        self.duty = duty
+        labels = {"duty": duty}
+        self._c_calls = MetricCounter(
+            "serving_supervisor_calls_total", "supervised calls", labels
+        )
+        self._c_failures = MetricCounter(
+            "serving_supervisor_failures_total", "terminally failed supervised calls", labels
+        )
+        self._c_retries = MetricCounter(
+            "serving_supervisor_retries_total", "retry attempts after failures", labels
+        )
+        self._c_budget = MetricCounter(
+            "serving_supervisor_budget_exceeded_total",
+            "successful calls that overran the time budget",
+            labels,
+        )
+        self._g_consecutive = MetricGauge(
+            "serving_supervisor_consecutive_failures", "current failure streak", labels
+        )
+        reg = get_registry(registry)
+        for inst in (
+            self._c_calls,
+            self._c_failures,
+            self._c_retries,
+            self._c_budget,
+            self._g_consecutive,
+        ):
+            reg.register(inst)
         self.last_error: str | None = None
+
+    # -- counter views ----------------------------------------------------------
+
+    @property
+    def n_calls(self) -> int:
+        return int(self._c_calls.value)
+
+    @property
+    def total_failures(self) -> int:
+        return int(self._c_failures.value)
+
+    @property
+    def total_retries(self) -> int:
+        return int(self._c_retries.value)
+
+    @property
+    def n_budget_exceeded(self) -> int:
+        return int(self._c_budget.value)
+
+    @property
+    def consecutive_failures(self) -> int:
+        return int(self._g_consecutive.value)
 
     @property
     def should_fall_back(self) -> bool:
@@ -325,7 +439,7 @@ class Supervisor:
 
     def run(self, fn: Callable[[], T]) -> tuple[bool, T | None]:
         """Call ``fn`` with retries; return ``(True, result)`` or ``(False, None)``."""
-        self.n_calls += 1
+        self._c_calls.inc()
         start = time.perf_counter()
         attempt = 0
         while True:
@@ -338,8 +452,8 @@ class Supervisor:
                     self.policy.time_budget is not None and elapsed >= self.policy.time_budget
                 )
                 if attempt >= self.policy.max_retries or out_of_budget:
-                    self.consecutive_failures += 1
-                    self.total_failures += 1
+                    self._g_consecutive.inc()
+                    self._c_failures.inc()
                     return False, None
                 delay = min(
                     self.policy.backoff_base * self.policy.backoff_factor**attempt,
@@ -348,12 +462,12 @@ class Supervisor:
                 if delay > 0:
                     self._sleep(delay)
                 attempt += 1
-                self.total_retries += 1
+                self._c_retries.inc()
             else:
                 elapsed = time.perf_counter() - start
                 if self.policy.time_budget is not None and elapsed > self.policy.time_budget:
-                    self.n_budget_exceeded += 1
-                self.consecutive_failures = 0
+                    self._c_budget.inc()
+                self._g_consecutive.set(0)
                 return True, result
 
     # -- checkpointing ---------------------------------------------------------
@@ -369,9 +483,9 @@ class Supervisor:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        self.consecutive_failures = int(state["consecutive_failures"])
-        self.total_failures = int(state["total_failures"])
-        self.total_retries = int(state["total_retries"])
-        self.n_calls = int(state["n_calls"])
-        self.n_budget_exceeded = int(state["n_budget_exceeded"])
+        self._g_consecutive.set(int(state["consecutive_failures"]))
+        self._c_failures.restore(int(state["total_failures"]))
+        self._c_retries.restore(int(state["total_retries"]))
+        self._c_calls.restore(int(state["n_calls"]))
+        self._c_budget.restore(int(state["n_budget_exceeded"]))
         self.last_error = state["last_error"]

@@ -12,6 +12,7 @@ import math
 from pathlib import Path
 from typing import Callable
 
+from ..ioutil import atomic_output
 from ..nn.module import Module
 
 __all__ = [
@@ -119,25 +120,38 @@ class ModelCheckpoint(Callback):
 
 
 class CSVLogger(Callback):
-    """Append one row of epoch logs to a CSV file."""
+    """Log one row of epoch logs per epoch to a CSV file.
+
+    Every epoch republishes the whole log through
+    :func:`repro.ioutil.atomic_output`, so a process killed mid-epoch
+    leaves the previous epoch's complete file rather than a truncated
+    row. Epoch counts are small (hundreds), so the rewrite is noise next
+    to the epoch itself.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._header_written = False
+        self._keys: list[str] | None = None
+        self._rows: list[list[float]] = []
+
+    def _publish(self) -> None:
+        with atomic_output(self.path, suffix=".csv") as tmp:
+            with tmp.open("w", newline="") as fh:
+                writer = csv.writer(fh)
+                if self._keys is not None:
+                    writer.writerow(["epoch", *self._keys])
+                    writer.writerows(self._rows)
 
     def on_train_begin(self, model: Module) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("")
-        self._header_written = False
+        self._keys = None
+        self._rows = []
+        self._publish()
 
     def on_epoch_end(self, epoch: int, logs: dict[str, float], model: Module) -> None:
-        keys = sorted(logs)
-        with self.path.open("a", newline="") as fh:
-            writer = csv.writer(fh)
-            if not self._header_written:
-                writer.writerow(["epoch", *keys])
-                self._header_written = True
-            writer.writerow([epoch, *[logs[k] for k in keys]])
+        if self._keys is None:
+            self._keys = sorted(logs)
+        self._rows.append([epoch, *[logs[k] for k in self._keys]])
+        self._publish()
 
 
 class History(Callback):

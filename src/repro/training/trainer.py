@@ -1,7 +1,18 @@
-"""Mini-batch training loop for :mod:`repro.nn` models."""
+"""Mini-batch training loop for :mod:`repro.nn` models.
+
+The loop is observable through :mod:`repro.obs`: ``fit`` runs inside a
+``train.fit`` span with one ``train.epoch`` child per epoch (and
+optionally a ``train.batch`` child per batch), per-batch and per-epoch
+latencies land in histograms, and loss / grad-norm / throughput gauges
+track the most recent values. All of it is skipped when
+:func:`repro.obs.set_enabled` has turned instrumentation off, so the
+uninstrumented hot path stays as fast as before.
+"""
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -11,9 +22,14 @@ from ..nn.module import Module
 from ..nn.optim.base import Optimizer
 from ..nn.optim.clip import clip_grad_norm
 from ..nn.tensor import Tensor, no_grad
+from ..obs import trace
+from ..obs.registry import MetricRegistry, get_registry, is_enabled
 from .callbacks import Callback, History
 
 __all__ = ["Trainer", "TrainingHistory"]
+
+#: shared reusable no-op context for the un-spanned batch path
+_NULL_CTX = nullcontext()
 
 
 @dataclass
@@ -41,6 +57,13 @@ class Trainer:
         Optional joint-L2 gradient clipping (recurrent nets benefit).
     rng:
         Generator for batch shuffling — keeps runs reproducible.
+    registry:
+        :class:`~repro.obs.MetricRegistry` for training metrics
+        (``None`` = the process-global default, resolved at fit time).
+    batch_spans:
+        Also open a ``train.batch`` span per batch. Off by default —
+        epoch spans plus the batch-latency histogram cover the common
+        case without growing the trace tree by thousands of nodes.
     """
 
     def __init__(
@@ -50,12 +73,16 @@ class Trainer:
         loss: Module,
         grad_clip_norm: float | None = None,
         rng: np.random.Generator | None = None,
+        registry: MetricRegistry | None = None,
+        batch_spans: bool = False,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.loss = loss
         self.grad_clip_norm = grad_clip_norm
         self.rng = rng if rng is not None else nn_init.default_rng()
+        self.registry = registry
+        self.batch_spans = batch_spans
 
     # -- evaluation ----------------------------------------------------------
 
@@ -115,49 +142,94 @@ class Trainer:
         history = TrainingHistory()
         has_val = x_val is not None and y_val is not None
 
+        obs_on = is_enabled()
+        if obs_on:
+            reg = get_registry(self.registry)
+            h_batch = reg.histogram("training_batch_seconds", "batch step latency")
+            h_epoch = reg.histogram("training_epoch_seconds", "epoch latency")
+            c_epochs = reg.counter("training_epochs_total", "epochs completed")
+            c_batches = reg.counter("training_batches_total", "batch steps completed")
+            g_loss = reg.gauge("training_loss", "most recent epoch training loss")
+            g_val = reg.gauge("training_val_loss", "most recent validation loss")
+            g_grad = reg.gauge("training_grad_norm", "pre-clip grad norm of the last batch")
+            g_tput = reg.gauge(
+                "training_throughput_samples_per_sec", "samples/s of the last epoch"
+            )
+
         for cb in callbacks:
             cb.on_train_begin(self.model)
 
         self.model.train()
         n = len(x_train)
-        for epoch in range(epochs):
-            idx = np.arange(n)
-            if shuffle:
-                self.rng.shuffle(idx)
-            epoch_loss = 0.0
-            for start in range(0, n, batch_size):
-                sel = idx[start : start + batch_size]
-                xb = Tensor(x_train[sel])
-                yb = Tensor(y_train[sel])
-                self.optimizer.zero_grad()
-                out = self.model(xb)
-                loss = self.loss(out, yb)
-                loss.backward()
-                if self.grad_clip_norm is not None:
-                    clip_grad_norm(list(self.model.parameters()), self.grad_clip_norm)
-                self.optimizer.step()
-                epoch_loss += loss.item() * len(sel)
-            epoch_loss /= n
+        with trace.span("train.fit") as fit_span:
+            for epoch in range(epochs):
+                idx = np.arange(n)
+                if shuffle:
+                    self.rng.shuffle(idx)
+                epoch_loss = 0.0
+                epoch_t0 = time.perf_counter()
+                with trace.span("train.epoch") as epoch_span:
+                    for start in range(0, n, batch_size):
+                        sel = idx[start : start + batch_size]
+                        batch_t0 = time.perf_counter()
+                        batch_ctx = (
+                            trace.span("train.batch")
+                            if obs_on and self.batch_spans
+                            else _NULL_CTX
+                        )
+                        with batch_ctx:
+                            xb = Tensor(x_train[sel])
+                            yb = Tensor(y_train[sel])
+                            self.optimizer.zero_grad()
+                            out = self.model(xb)
+                            loss = self.loss(out, yb)
+                            loss.backward()
+                            if self.grad_clip_norm is not None:
+                                grad_norm = clip_grad_norm(
+                                    list(self.model.parameters()), self.grad_clip_norm
+                                )
+                                if obs_on:
+                                    g_grad.set(grad_norm)
+                            self.optimizer.step()
+                            epoch_loss += loss.item() * len(sel)
+                        if obs_on:
+                            h_batch.observe(time.perf_counter() - batch_t0)
+                            c_batches.inc()
+                            epoch_span.add("batches")
+                epoch_loss /= n
+                epoch_dt = time.perf_counter() - epoch_t0
 
-            logs: dict[str, float] = {"loss": epoch_loss}
-            history.train_loss.append(epoch_loss)
-            if has_val:
-                val_loss = self.evaluate(x_val, y_val)
-                logs["val_loss"] = val_loss
-                history.val_loss.append(val_loss)
-            history.epochs_run = epoch + 1
+                logs: dict[str, float] = {"loss": epoch_loss}
+                history.train_loss.append(epoch_loss)
+                if has_val:
+                    val_loss = self.evaluate(x_val, y_val)
+                    logs["val_loss"] = val_loss
+                    history.val_loss.append(val_loss)
+                history.epochs_run = epoch + 1
 
-            if verbose:  # pragma: no cover - console output
-                extra = f" val_loss={logs.get('val_loss', float('nan')):.5f}" if has_val else ""
-                print(f"epoch {epoch + 1}/{epochs} loss={epoch_loss:.5f}{extra}")
+                if obs_on:
+                    h_epoch.observe(epoch_dt)
+                    c_epochs.inc()
+                    fit_span.add("epochs")
+                    g_loss.set(epoch_loss)
+                    if has_val:
+                        g_val.set(logs["val_loss"])
+                    if epoch_dt > 0:
+                        g_tput.set(n / epoch_dt)
 
-            stop = False
-            for cb in callbacks:
-                cb.on_epoch_end(epoch, logs, self.model)
-                stop = stop or cb.stop_training
-            if stop:
-                history.stopped_early = True
-                break
+                if verbose:  # pragma: no cover - console output
+                    extra = (
+                        f" val_loss={logs.get('val_loss', float('nan')):.5f}" if has_val else ""
+                    )
+                    print(f"epoch {epoch + 1}/{epochs} loss={epoch_loss:.5f}{extra}")
+
+                stop = False
+                for cb in callbacks:
+                    cb.on_epoch_end(epoch, logs, self.model)
+                    stop = stop or cb.stop_training
+                if stop:
+                    history.stopped_early = True
+                    break
 
         for cb in callbacks:
             cb.on_train_end(self.model)

@@ -1,0 +1,113 @@
+"""Exporter formats: Prometheus text validity, JSONL, summary, atomic writes."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.export import jsonl_text, prometheus_text, summary, write_snapshot
+from repro.obs.registry import MetricRegistry
+
+#: Prometheus text exposition: comment or `name{labels} value`
+_PROM_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-Inf|NaN|[-+0-9.e]+))$"
+)
+
+
+@pytest.fixture
+def reg():
+    reg = MetricRegistry()
+    reg.counter("requests_total", "served requests", {"code": "200"}).inc(5)
+    reg.counter("requests_total", "served requests", {"code": "500"}).inc(1)
+    reg.gauge("health_state", "serving health").set(1.0)
+    h = reg.histogram("latency_seconds", "request latency", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheus:
+    def test_every_line_is_valid_exposition_format(self, reg):
+        text = prometheus_text(reg)
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            assert _PROM_LINE.match(line), f"invalid exposition line: {line!r}"
+
+    def test_counter_series_with_labels(self, reg):
+        text = prometheus_text(reg)
+        assert '# TYPE requests_total counter' in text
+        assert 'requests_total{code="200"} 5.0' in text
+        assert 'requests_total{code="500"} 1.0' in text
+
+    def test_histogram_cumulative_buckets(self, reg):
+        text = prometheus_text(reg)
+        assert 'latency_seconds_bucket{le="0.01"} 1' in text
+        assert 'latency_seconds_bucket{le="0.1"} 2' in text
+        assert 'latency_seconds_bucket{le="1"} 3' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 4' in text
+        assert "latency_seconds_count 4" in text
+        assert "latency_seconds_sum 5.555" in text
+
+    def test_names_and_label_values_sanitized(self):
+        reg = MetricRegistry()
+        reg.counter("bad name-with.chars", labels={"path": 'a"b\nc\\d'}).inc()
+        text = prometheus_text(reg)
+        for line in text.strip().splitlines():
+            assert _PROM_LINE.match(line), f"invalid exposition line: {line!r}"
+        assert "bad_name_with_chars" in text
+
+
+class TestJsonl:
+    def test_one_parseable_object_per_line(self, reg):
+        lines = jsonl_text(reg).strip().splitlines()
+        objs = [json.loads(line) for line in lines]
+        assert objs[0] == {"schema": "repro-obs/v1"}
+        names = {o["name"] for o in objs[1:]}
+        assert names == {"requests_total", "health_state", "latency_seconds"}
+
+    def test_histogram_entry_has_quantiles(self, reg):
+        objs = [json.loads(line) for line in jsonl_text(reg).strip().splitlines()]
+        hist = next(o for o in objs if o.get("kind") == "histogram")
+        assert hist["count"] == 4
+        assert set(hist["quantiles"]) == {"p50", "p90", "p99"}
+
+
+class TestSummary:
+    def test_contains_every_metric(self, reg):
+        text = summary(reg)
+        for name in ("requests_total", "health_state", "latency_seconds"):
+            assert name in text
+        assert "p50=" in text and "p99=" in text
+
+    def test_empty_registry(self):
+        assert "no metrics" in summary(MetricRegistry())
+
+
+class TestWriteSnapshot:
+    def test_format_follows_extension(self, reg, tmp_path):
+        prom = write_snapshot(tmp_path / "m.prom", reg)
+        jsonl = write_snapshot(tmp_path / "m.jsonl", reg)
+        assert "# TYPE" in prom.read_text()
+        assert json.loads(jsonl.read_text().splitlines()[0])["schema"] == "repro-obs/v1"
+
+    def test_fmt_override(self, reg, tmp_path):
+        path = write_snapshot(tmp_path / "m.data", reg, fmt="jsonl")
+        assert path.read_text().startswith("{")
+        with pytest.raises(ValueError, match="unknown snapshot format"):
+            write_snapshot(tmp_path / "m.x", reg, fmt="xml")
+
+    def test_write_is_atomic(self, reg, tmp_path, monkeypatch):
+        """A crash mid-write must leave the previous snapshot intact."""
+        target = tmp_path / "m.prom"
+        target.write_text("previous good snapshot\n")
+        import repro.obs.export as export_mod
+
+        monkeypatch.setattr(
+            export_mod, "prometheus_text", lambda *a, **k: (_ for _ in ()).throw(OSError("disk"))
+        )
+        with pytest.raises(OSError):
+            write_snapshot(target, reg)
+        assert target.read_text() == "previous good snapshot\n"
+        # no stray temp files left next to the target
+        assert [p.name for p in tmp_path.iterdir()] == ["m.prom"]

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.allocation",
     "repro.scheduling",
     "repro.streaming",
+    "repro.obs",
 ]
 
 
