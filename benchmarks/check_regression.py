@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Gate BENCH_*.json snapshots against the committed baselines.
+
+CI regenerates the perf-smoke snapshots (``BENCH_parallel.json``,
+``BENCH_obs.json``, ...) on every run; this script diffs the fresh
+numbers against the copies committed at ``--baseline-ref`` (default
+``HEAD``) and fails when a wall-clock figure regressed by more than the
+threshold. Usable locally the same way CI uses it:
+
+    python -m pytest benchmarks -m perf_smoke -q   # refresh snapshots
+    python benchmarks/check_regression.py          # diff vs HEAD
+
+Comparison rules, by metric name anywhere in the entry:
+
+* ``*seconds*``  — lower is better; a regression needs both the relative
+  threshold exceeded *and* an absolute slowdown above ``ABS_FLOOR_SECONDS``
+  (sub-50 ms timings are scheduler noise, not signal);
+* ``*per_sec*``  — higher is better (throughput);
+* everything else (ratios, counts, shapes) is informational only —
+  dedicated test assertions gate those.
+
+Baseline entries are matched by label (``RPTCN_BENCH_LABEL``); when the
+fresh label is absent from the committed file, the baseline's last entry
+is used — snapshots accumulate across PRs, so the last entry is the most
+recent committed measurement. ``RPTCN_BENCH_TOLERANCE`` overrides
+``--threshold`` (CI escape hatch for known-noisy runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+#: ignore "regressions" smaller than this many absolute seconds
+ABS_FLOOR_SECONDS = 0.05
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def committed_baseline(path: Path, ref: str) -> dict | None:
+    """The file's content at ``ref``, or None if it is not committed there."""
+    rel = path.resolve().relative_to(REPO_ROOT)
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{rel.as_posix()}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def numeric_leaves(entry, prefix: str = "") -> dict[str, float]:
+    """Flatten an entry to dotted-path -> number (None and strings dropped)."""
+    out: dict[str, float] = {}
+    if isinstance(entry, dict):
+        for key, value in entry.items():
+            out.update(numeric_leaves(value, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(entry, (int, float)) and not isinstance(entry, bool):
+        out[prefix] = float(entry)
+    return out
+
+
+def pick_baseline_entry(baseline: dict, label: str) -> tuple[str, dict] | None:
+    entries = baseline.get("entries") or {}
+    if not entries:
+        return None
+    if label in entries:
+        return label, entries[label]
+    last_label = list(entries)[-1]  # JSON objects keep insertion order
+    return last_label, entries[last_label]
+
+
+def compare(fresh: dict, base: dict, threshold: float) -> tuple[list[str], list[str]]:
+    """Return (regressions, report_lines) for one pair of entries."""
+    fresh_nums = numeric_leaves(fresh)
+    base_nums = numeric_leaves(base)
+    regressions: list[str] = []
+    lines: list[str] = []
+    for path in sorted(fresh_nums):
+        if path not in base_nums:
+            continue
+        new, old = fresh_nums[path], base_nums[path]
+        if "seconds" in path:
+            regressed = (
+                new > old * (1.0 + threshold) and new - old > ABS_FLOOR_SECONDS
+            )
+            direction = "slower"
+        elif "per_sec" in path:
+            regressed = old > 0 and new < old * (1.0 - threshold)
+            direction = "less throughput"
+        else:
+            continue
+        delta = (new / old - 1.0) * 100.0 if old else float("inf")
+        marker = "REGRESSION" if regressed else "ok"
+        lines.append(f"  {marker:<10} {path}: {old:g} -> {new:g} ({delta:+.1f}%)")
+        if regressed:
+            regressions.append(f"{path} {direction}: {old:g} -> {new:g} ({delta:+.1f}%)")
+    return regressions, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="BENCH_*.json files to check (default: all at the repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("RPTCN_BENCH_TOLERANCE", 0.25)),
+        help="max allowed relative regression (default 0.25 = 25%%; "
+        "env RPTCN_BENCH_TOLERANCE overrides)",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref holding the committed baselines (default HEAD)",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json snapshots found — nothing to check")
+        return 0
+
+    label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
+    all_regressions: list[str] = []
+    for path in files:
+        baseline = committed_baseline(path, args.baseline_ref)
+        if baseline is None:
+            print(f"{path.name}: no committed baseline at {args.baseline_ref} — skipped")
+            continue
+        fresh_doc = json.loads(Path(path).read_text())
+        fresh_entry = (fresh_doc.get("entries") or {}).get(label)
+        if fresh_entry is None:
+            print(f"{path.name}: no fresh entry labelled {label!r} — skipped")
+            continue
+        picked = pick_baseline_entry(baseline, label)
+        if picked is None:
+            print(f"{path.name}: committed baseline has no entries — skipped")
+            continue
+        base_label, base_entry = picked
+        regressions, lines = compare(fresh_entry, base_entry, args.threshold)
+        print(f"{path.name}: {label!r} vs committed {base_label!r} "
+              f"(threshold {args.threshold:.0%})")
+        for line in lines:
+            print(line)
+        all_regressions.extend(f"{path.name}: {r}" for r in regressions)
+
+    if all_regressions:
+        print("\nperformance regressions detected:", file=sys.stderr)
+        for r in all_regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("\nno performance regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

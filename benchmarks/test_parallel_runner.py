@@ -1,0 +1,108 @@
+"""Parallel runner + result cache snapshot (marker ``perf_smoke``) -> ``BENCH_parallel.json``.
+
+Times the same small Table II grid four ways — serial, 2-way pool,
+cold-cache, warm-cache — and records wall-clock for each. Correctness
+rides along: the serial and pooled sweeps must agree bit-for-bit, and
+the warm rerun must hit the cache for every cell and land well under the
+cold time (cache lookups replace training entirely).
+
+Wall time (not CPU time) is the right metric here: the pool's whole
+point is wall-clock, and the cache's whole point is skipping work. The
+pooled-speedup assertion only applies on multi-core machines — spawn
+startup dominates on a single core — but the warm-cache speedup is
+core-count independent and always asserted.
+
+    python -m pytest benchmarks/test_parallel_runner.py -q
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.accuracy import run_table2
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import ExperimentProfile
+from repro.obs.registry import MetricRegistry
+
+#: warm-cache rerun must land under this fraction of the cold run
+MAX_WARM_FRACTION = 0.5
+#: with >=2 cores, the 2-way pool must not be slower than this x serial
+MAX_POOL_SLOWDOWN = 1.35
+
+#: small grid: 4 models x 2 levels under Mul-Exp = 8 independent cells
+BENCH_PROFILE = ExperimentProfile(
+    name="bench-parallel",
+    n_steps=420,
+    n_machines=2,
+    containers_per_machine=1,
+    n_entities=1,
+    epochs=4,
+    gbt_estimators=25,
+)
+SCENARIOS = ("mul_exp",)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+@pytest.mark.perf_smoke
+def test_perf_smoke_parallel_and_cache(tmp_path):
+    """Serial == pooled numbers; warm cache hits every cell and is fast."""
+    serial, t_serial = _timed(
+        lambda: run_table2(BENCH_PROFILE, scenarios=SCENARIOS, jobs=1)
+    )
+    pooled, t_pooled = _timed(
+        lambda: run_table2(BENCH_PROFILE, scenarios=SCENARIOS, jobs=2)
+    )
+    assert serial.errors == {} and pooled.errors == {}
+    assert serial.metrics == pooled.metrics, "jobs changed the numbers"
+
+    cache = ResultCache(tmp_path / "cache", registry=MetricRegistry())
+    cold, t_cold = _timed(
+        lambda: run_table2(BENCH_PROFILE, scenarios=SCENARIOS, jobs=1, cache=cache)
+    )
+    warm, t_warm = _timed(
+        lambda: run_table2(BENCH_PROFILE, scenarios=SCENARIOS, jobs=1, cache=cache)
+    )
+    n_cells = len(cold.metrics)
+    assert cold.metrics == serial.metrics
+    assert warm.metrics == cold.metrics
+    assert cache.hits == n_cells, f"warm run hit {cache.hits}/{n_cells} cells"
+
+    snapshot = {
+        "grid": f"{n_cells} cells: {SCENARIOS[0]} x 2 levels, "
+        f"n_steps={BENCH_PROFILE.n_steps}, epochs={BENCH_PROFILE.epochs}",
+        "cpu_count": os.cpu_count(),
+        "wall_seconds": {
+            "serial": round(t_serial, 3),
+            "jobs2": round(t_pooled, 3),
+            "cache_cold": round(t_cold, 3),
+            "cache_warm": round(t_warm, 3),
+        },
+        "cache": {"hits": cache.hits, "misses": cache.misses, "stores": cache.stores},
+        "max_warm_fraction": MAX_WARM_FRACTION,
+    }
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+    data = {"schema": "bench-parallel/v1", "entries": {}}
+    if path.exists():
+        data = json.loads(path.read_text())
+    label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
+    data["entries"][label] = snapshot
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+    assert t_warm <= MAX_WARM_FRACTION * t_cold, (
+        f"warm cache rerun {t_warm:.2f}s not under "
+        f"{MAX_WARM_FRACTION:.0%} of cold {t_cold:.2f}s"
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert t_pooled <= MAX_POOL_SLOWDOWN * t_serial, (
+            f"2-way pool took {t_pooled:.2f}s vs serial {t_serial:.2f}s "
+            f"(> {MAX_POOL_SLOWDOWN}x) on a {os.cpu_count()}-core machine"
+        )

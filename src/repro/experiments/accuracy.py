@@ -12,17 +12,25 @@ single pathological series cannot dominate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
 
 from ..data.pipeline import PipelineConfig, PredictionPipeline
-from ..traces.generator import ClusterTraceGenerator, TraceConfig
+from ..traces.generator import generate_cluster_cached
 from ..traces.schema import EntityTrace
 from .config import ExperimentProfile, get_profile
+from .parallel import TaskSpec, derive_seed, run_tasks
 
-__all__ = ["Table2Result", "run_table2", "SCENARIO_MODELS", "model_kwargs_for"]
+__all__ = [
+    "Table2Result",
+    "run_table2",
+    "run_table2_cell",
+    "table2_tasks",
+    "SCENARIO_MODELS",
+    "model_kwargs_for",
+]
 
 #: models evaluated per scenario, mirroring the paper's Table II rows
 SCENARIO_MODELS: dict[str, tuple[str, ...]] = {
@@ -54,11 +62,17 @@ def model_kwargs_for(model: str, profile: ExperimentProfile) -> dict[str, Any]:
 
 @dataclass
 class Table2Result:
-    """(scenario, model, level) → averaged {mse, mae} plus provenance."""
+    """(scenario, model, level) → averaged {mse, mae} plus provenance.
+
+    ``errors`` holds cells whose train/eval raised: the sweep keeps
+    going (failure isolation), the missing cell is reported here, and
+    the runner turns a non-empty ``errors`` into a nonzero exit.
+    """
 
     metrics: dict[tuple[str, str, str], dict[str, float]] = field(default_factory=dict)
     profile: str = ""
     entity_ids: dict[str, list[str]] = field(default_factory=dict)
+    errors: dict[tuple[str, str, str], str] = field(default_factory=dict)
 
     def best_model(self, scenario: str, level: str, metric: str = "mse") -> str:
         """Model with the lowest metric for one scenario/level cell."""
@@ -104,44 +118,109 @@ def _select_entities(
     return ordered[: max(1, n)]
 
 
+def run_table2_cell(
+    prof: ExperimentProfile,
+    scenario: str,
+    model: str,
+    level: str,
+    seed: int | None = None,
+) -> dict[str, Any]:
+    """One Table II cell — a pure function of its arguments.
+
+    Regenerates the (memoized, deterministic) synthetic cluster, selects
+    the level's evaluation entities, and trains/evaluates one model
+    under one scenario. ``seed`` overrides the profile's training seed;
+    the default grid pins ``seed=prof.seed`` so the decomposed grid is
+    bit-identical to the historical serial sweep.
+    """
+    if seed is not None and seed != prof.seed:
+        prof = replace(prof, seed=seed)
+    trace = generate_cluster_cached(
+        n_machines=prof.n_machines,
+        containers_per_machine=prof.containers_per_machine,
+        n_steps=prof.n_steps,
+        seed=prof.seed if seed is None else seed,
+    )
+    pool = trace.containers if level == "containers" else trace.machines
+    entities = _select_entities(pool, prof.n_entities)
+    pipe = PredictionPipeline(
+        PipelineConfig(scenario=scenario, window=prof.window, horizon=prof.horizon)
+    )
+    kwargs = model_kwargs_for(model, prof)
+    mses, maes = [], []
+    for entity in entities:
+        run = pipe.run(entity, model, dict(kwargs))
+        mses.append(run.metrics["mse"])
+        maes.append(run.metrics["mae"])
+    return {
+        "mse": float(np.mean(mses)),
+        "mae": float(np.mean(maes)),
+        "entity_ids": [e.entity_id for e in entities],
+    }
+
+
+def table2_tasks(
+    prof: ExperimentProfile,
+    scenarios: tuple[str, ...] = ("uni", "mul", "mul_exp"),
+    seed_policy: str = "profile",
+) -> list[TaskSpec]:
+    """Independent task specs for every Table II cell, in table order.
+
+    ``seed_policy="profile"`` pins every cell to the profile seed —
+    exact parity with the pre-decomposition serial sweep (and the
+    numbers EXPERIMENTS.md cites). ``"derived"`` gives each cell its own
+    :func:`~.parallel.derive_seed` stream for statistically independent
+    cells; both are invariant to ``--jobs``.
+    """
+    if seed_policy not in ("profile", "derived"):
+        raise ValueError(f"seed_policy must be 'profile' or 'derived', got {seed_policy!r}")
+    tasks = []
+    for scenario in scenarios:
+        for model in SCENARIO_MODELS[scenario]:
+            for level in ("containers", "machines"):
+                key = (scenario, model, level)
+                seed = (
+                    prof.seed
+                    if seed_policy == "profile"
+                    else derive_seed(prof.seed, "table2", *key)
+                )
+                tasks.append(
+                    TaskSpec(
+                        experiment="table2",
+                        key=key,
+                        fn="repro.experiments.accuracy.run_table2_cell",
+                        params={
+                            "prof": prof,
+                            "scenario": scenario,
+                            "model": model,
+                            "level": level,
+                            "seed": seed,
+                        },
+                    )
+                )
+    return tasks
+
+
 def run_table2(
     profile: str | ExperimentProfile = "quick",
     scenarios: tuple[str, ...] = ("uni", "mul", "mul_exp"),
+    jobs: int = 1,
+    cache: Any | None = None,
 ) -> Table2Result:
-    """Regenerate Table II on a fresh synthetic cluster."""
-    prof = get_profile(profile) if isinstance(profile, str) else profile
-    gen = ClusterTraceGenerator(
-        TraceConfig(
-            n_machines=prof.n_machines,
-            containers_per_machine=prof.containers_per_machine,
-            n_steps=prof.n_steps,
-            seed=prof.seed,
-        )
-    )
-    trace = gen.generate()
-    levels = {
-        "containers": _select_entities(trace.containers, prof.n_entities),
-        "machines": _select_entities(trace.machines, prof.n_entities),
-    }
+    """Regenerate Table II as a grid of independent cells.
 
-    result = Table2Result(
-        profile=prof.name,
-        entity_ids={k: [e.entity_id for e in v] for k, v in levels.items()},
-    )
-    for scenario in scenarios:
-        pipe = PredictionPipeline(
-            PipelineConfig(scenario=scenario, window=prof.window, horizon=prof.horizon)
-        )
-        for model in SCENARIO_MODELS[scenario]:
-            kwargs = model_kwargs_for(model, prof)
-            for level, entities in levels.items():
-                mses, maes = [], []
-                for entity in entities:
-                    run = pipe.run(entity, model, dict(kwargs))
-                    mses.append(run.metrics["mse"])
-                    maes.append(run.metrics["mae"])
-                result.metrics[(scenario, model, level)] = {
-                    "mse": float(np.mean(mses)),
-                    "mae": float(np.mean(maes)),
-                }
+    ``jobs`` fans the cells out to worker processes; ``cache`` (a
+    :class:`~.cache.ResultCache`) skips cells whose content-addressed
+    result already exists. Both are identity transformations on the
+    numbers: every cell is a pure function of its parameters.
+    """
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    result = Table2Result(profile=prof.name)
+    for task in run_tasks(table2_tasks(prof, scenarios), jobs=jobs, cache=cache):
+        key = tuple(task.spec.key)
+        if not task.ok:
+            result.errors[key] = task.error or "unknown error"
+            continue
+        result.metrics[key] = {"mse": task.value["mse"], "mae": task.value["mae"]}
+        result.entity_ids.setdefault(key[2], list(task.value["entity_ids"]))
     return result

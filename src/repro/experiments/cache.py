@@ -1,0 +1,213 @@
+"""Content-addressed on-disk cache for experiment task results.
+
+Re-running ``--experiment table2`` recomputes every (scenario, model,
+granularity) cell from scratch even when nothing relevant changed. This
+cache keys each task's result by a SHA-256 digest of everything that
+determines it:
+
+* the experiment name and the dotted path of the cell function,
+* the full task parameters (including the complete sizing profile and
+  the cell's seed), canonicalized through
+  :func:`~repro.experiments.persistence.to_jsonable` + sorted-key JSON,
+* a **code fingerprint** — a digest of the source bytes of every module
+  the computation flows through (traces → data → models → nn →
+  training → experiments), so editing any of them invalidates every
+  previously cached cell rather than serving stale numbers.
+
+Entries are single JSON files named by their digest, written atomically
+via :func:`repro.ioutil.atomic_output` and carrying an internal payload
+checksum: a torn, truncated, or hand-edited entry fails verification, is
+deleted, and the cell is recomputed. Lookups and writes are counted in
+:mod:`repro.obs` (``experiment_cache_events_total{event=...}``) so a
+``--metrics-out`` snapshot shows exactly how warm a run was.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..ioutil import atomic_output
+from ..obs.registry import MetricRegistry, get_registry
+from .persistence import to_jsonable
+
+__all__ = [
+    "ResultCache",
+    "code_fingerprint",
+    "DEFAULT_FINGERPRINT_MODULES",
+    "DEFAULT_CACHE_DIR",
+]
+
+#: packages whose source participates in every experiment cell; editing
+#: any file under them must invalidate cached results
+DEFAULT_FINGERPRINT_MODULES: tuple[str, ...] = (
+    "repro.data",
+    "repro.experiments",
+    "repro.models",
+    "repro.nn",
+    "repro.traces",
+    "repro.training",
+)
+
+#: runner default (relative to the invocation cwd, like metrics-out)
+DEFAULT_CACHE_DIR = ".rptcn-cache"
+
+
+def _fingerprint_files(module_name: str) -> list[Path]:
+    mod = importlib.import_module(module_name)
+    file = getattr(mod, "__file__", None)
+    if file is None:  # namespace/builtin: identity only
+        return []
+    path = Path(file)
+    if path.name == "__init__.py":
+        return sorted(path.parent.rglob("*.py"))
+    return [path]
+
+
+def _compute_fingerprint(modules: tuple[str, ...]) -> str:
+    """Digest of the source bytes of ``modules`` (packages recurse)."""
+    digest = hashlib.sha256()
+    for name in modules:
+        digest.update(name.encode())
+        for file in _fingerprint_files(name):
+            try:
+                content = file.read_bytes()
+            except OSError:
+                continue
+            digest.update(file.name.encode())
+            digest.update(str(file.parent).encode())
+            digest.update(content)
+    return digest.hexdigest()[:16]
+
+
+@lru_cache(maxsize=None)
+def code_fingerprint(modules: tuple[str, ...] = DEFAULT_FINGERPRINT_MODULES) -> str:
+    """Memoized :func:`_compute_fingerprint` — source files are immutable
+    within one process lifetime; invalidation matters *across* runs."""
+    return _compute_fingerprint(modules)
+
+
+class ResultCache:
+    """Digest-addressed JSON store for task results under one root dir.
+
+    Layout: ``root/<digest[:2]>/<digest>.json`` (two-level fanout keeps
+    directory listings short on big grids). Writes are atomic, reads are
+    checksum-verified, and every outcome is counted both on the instance
+    (``hits``/``misses``/``stores``/``invalidated``, exact per-cache) and
+    in the metric registry (aggregated across caches).
+    """
+
+    SCHEMA = "repro-cache/v1"
+
+    def __init__(
+        self,
+        root: str | Path,
+        registry: MetricRegistry | None = None,
+        fingerprint_modules: Iterable[str] = DEFAULT_FINGERPRINT_MODULES,
+    ) -> None:
+        self.root = Path(root)
+        self.fingerprint_modules = tuple(fingerprint_modules)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidated = 0
+        self._registry = get_registry(registry)
+
+    # -- keying ------------------------------------------------------------------
+
+    def task_digest(self, spec: Any) -> str:
+        """Stable content address of a :class:`~.parallel.TaskSpec`.
+
+        Everything that can change the result is hashed: the experiment
+        name, the cell function's dotted path, the canonicalized params
+        (profile + task key + seed), and the code fingerprint.
+        """
+        payload = {
+            "schema": self.SCHEMA,
+            "experiment": spec.experiment,
+            "fn": spec.fn,
+            "params": to_jsonable(spec.params),
+            "code": code_fingerprint(self.fingerprint_modules),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- storage -----------------------------------------------------------------
+
+    def get(self, digest: str) -> tuple[bool, Any]:
+        """``(hit, payload)``; corrupt entries are deleted and report a miss."""
+        path = self.path_for(digest)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self._count("miss")
+            return False, None
+        try:
+            doc = json.loads(raw)
+            if doc.get("schema") != self.SCHEMA:
+                raise ValueError(f"schema mismatch: {doc.get('schema')!r}")
+            body = json.dumps(doc["payload"], sort_keys=True, separators=(",", ":"))
+            checksum = hashlib.sha256(body.encode()).hexdigest()
+            if checksum != doc.get("sha256"):
+                raise ValueError("payload checksum mismatch")
+        except (ValueError, KeyError, TypeError):
+            path.unlink(missing_ok=True)  # poisoned entry: recompute, don't serve
+            self._count("invalidated")
+            return False, None
+        self._count("hit")
+        return True, doc["payload"]
+
+    def put(self, digest: str, value: Any) -> Path:
+        """Atomically persist a task result under its digest."""
+        payload = to_jsonable(value)
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        doc = {
+            "schema": self.SCHEMA,
+            "digest": digest,
+            "payload": payload,
+            "sha256": hashlib.sha256(body.encode()).hexdigest(),
+        }
+        path = self.path_for(digest)
+        with atomic_output(path, suffix=".json") as tmp:
+            tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        self._count("store")
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __bool__(self) -> bool:
+        # without this, __len__ would make an *empty* cache falsy — a trap
+        # for "if cache:" presence checks
+        return True
+
+    # -- accounting --------------------------------------------------------------
+
+    def _count(self, event: str) -> None:
+        attr = {"hit": "hits", "miss": "misses", "store": "stores",
+                "invalidated": "invalidated"}[event]
+        setattr(self, attr, getattr(self, attr) + 1)
+        self._registry.counter(
+            "experiment_cache_events_total",
+            "Result-cache lookups and writes by outcome",
+            labels={"event": event},
+        ).inc()

@@ -17,17 +17,24 @@ number is a *generalization gap*, not a bare error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from ..data.pipeline import PipelineConfig, PredictionPipeline
-from ..traces.generator import ClusterTraceGenerator, TraceConfig
+from ..traces.generator import generate_cluster_cached
 from ..traces.schema import EntityTrace
 from ..training.metrics import mae, mse
 from .accuracy import model_kwargs_for
 from .config import ExperimentProfile, get_profile
+from .parallel import TaskSpec, run_tasks
 
-__all__ = ["GeneralizationResult", "run_generalization"]
+__all__ = [
+    "GeneralizationResult",
+    "run_generalization",
+    "run_generalization_target",
+    "generalization_tasks",
+]
 
 
 @dataclass
@@ -38,6 +45,8 @@ class GeneralizationResult:
     source_id: str
     #: target entity id → {"transfer": {...}, "in_domain": {...}}
     targets: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    #: target entity id (or cell index) → failure summary
+    errors: dict[str, str] = field(default_factory=dict)
 
     def gap(self, target_id: str, metric: str = "mse") -> float:
         """transfer / in-domain error ratio (1.0 = perfect generalization)."""
@@ -55,40 +64,87 @@ def _transfer_eval(forecaster, pipe: PredictionPipeline, entity: EntityTrace) ->
     return {"mse": mse(ye, pred), "mae": mae(ye, pred)}
 
 
-def run_generalization(
-    profile: str | ExperimentProfile = "quick",
-    model: str = "rptcn",
-    n_targets: int = 3,
-) -> GeneralizationResult:
-    """Train once on a container, transfer to siblings and to a machine."""
-    prof = get_profile(profile) if isinstance(profile, str) else profile
-    gen = ClusterTraceGenerator(
-        TraceConfig(
-            n_machines=max(prof.n_machines, 2),
-            containers_per_machine=max(prof.containers_per_machine, 2),
-            n_steps=prof.n_steps,
-            seed=prof.seed,
-        )
-    )
-    trace = gen.generate()
-    source = trace.containers[0]
-    targets: list[EntityTrace] = trace.containers[1 : 1 + max(1, n_targets - 1)]
+def _generalization_targets(trace, n_targets: int) -> list[EntityTrace]:
+    targets: list[EntityTrace] = list(trace.containers[1 : 1 + max(1, n_targets - 1)])
     targets.append(trace.machines[0])  # the cross-level shift
+    return targets
+
+
+def run_generalization_target(
+    prof: ExperimentProfile,
+    model: str,
+    target_index: int,
+    n_targets: int,
+) -> dict[str, Any]:
+    """One transfer target — pure in its arguments.
+
+    Refits the source model in-process; training is deterministic in the
+    profile seed, so every cell reconstructs the *same* fitted source
+    model the serial harness trained once (and the memoized trace means
+    sibling cells in one process share the substrate).
+    """
+    trace = generate_cluster_cached(
+        n_machines=max(prof.n_machines, 2),
+        containers_per_machine=max(prof.containers_per_machine, 2),
+        n_steps=prof.n_steps,
+        seed=prof.seed,
+    )
+    source = trace.containers[0]
+    target = _generalization_targets(trace, n_targets)[target_index]
 
     pipe = PredictionPipeline(
         PipelineConfig(scenario="mul_exp", window=prof.window, horizon=prof.horizon)
     )
+    fitted = pipe.run(source, model, model_kwargs_for(model, prof)).forecaster
+    transfer = _transfer_eval(fitted, pipe, target)
+    in_domain = pipe.run(target, model, model_kwargs_for(model, prof)).metrics
+    return {
+        "source_id": source.entity_id,
+        "target_id": target.entity_id,
+        "transfer": transfer,
+        "in_domain": {"mse": in_domain["mse"], "mae": in_domain["mae"]},
+    }
 
-    # one model fitted on the source entity
-    source_run = pipe.run(source, model, model_kwargs_for(model, prof))
-    fitted = source_run.forecaster
 
-    result = GeneralizationResult(model=model, source_id=source.entity_id)
-    for target in targets:
-        transfer = _transfer_eval(fitted, pipe, target)
-        in_domain = pipe.run(target, model, model_kwargs_for(model, prof)).metrics
-        result.targets[target.entity_id] = {
-            "transfer": transfer,
-            "in_domain": {"mse": in_domain["mse"], "mae": in_domain["mae"]},
-        }
+def generalization_tasks(
+    prof: ExperimentProfile, model: str, n_targets: int
+) -> list[TaskSpec]:
+    """Independent task specs, one per transfer target."""
+    total = max(1, n_targets - 1) + 1
+    return [
+        TaskSpec(
+            experiment="generalization",
+            key=(model, f"target{idx}"),
+            fn="repro.experiments.generalization.run_generalization_target",
+            params={
+                "prof": prof,
+                "model": model,
+                "target_index": idx,
+                "n_targets": n_targets,
+            },
+        )
+        for idx in range(total)
+    ]
+
+
+def run_generalization(
+    profile: str | ExperimentProfile = "quick",
+    model: str = "rptcn",
+    n_targets: int = 3,
+    jobs: int = 1,
+    cache: Any | None = None,
+) -> GeneralizationResult:
+    """Train on a container, transfer to siblings and to a machine."""
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    result = GeneralizationResult(model=model, source_id="")
+    tasks = generalization_tasks(prof, model, n_targets)
+    for task in run_tasks(tasks, jobs=jobs, cache=cache):
+        if task.ok:
+            result.source_id = task.value["source_id"]
+            result.targets[task.value["target_id"]] = {
+                "transfer": task.value["transfer"],
+                "in_domain": task.value["in_domain"],
+            }
+        else:
+            result.errors[str(task.spec.key[1])] = task.error or "unknown error"
     return result

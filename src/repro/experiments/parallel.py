@@ -1,0 +1,263 @@
+"""Process-pool execution of independent experiment units.
+
+The paper's evaluation is an embarrassingly parallel grid: every Table II
+cell is an independent (scenario, model, granularity) train/eval run, the
+robustness sweep repeats cells across seeds, and ``--experiment all``
+regenerates eight unrelated artifacts. This module fans those units out
+to worker processes while keeping three guarantees the serial runner
+already provided:
+
+* **Bit-identical results regardless of parallelism.** A task's only
+  randomness inputs are its explicit parameters (every cell carries its
+  own seed; nothing reads a shared RNG stream whose position depends on
+  execution order), so ``--jobs 1`` and ``--jobs N`` produce the same
+  bytes. :func:`derive_seed` gives new harnesses a stable per-task seed
+  from the task key alone; the paper-table cells pin the legacy profile
+  seed so the parallel grid reproduces the serial numbers exactly.
+* **Failure isolation.** A task that raises — in-process or in a worker
+  — becomes an error entry on its :class:`TaskResult` instead of killing
+  the sweep; the runner turns error entries into a nonzero exit code.
+* **Observability across the pool boundary.** Workers run with a fresh
+  metric registry and tracer, serialize their finished spans and metric
+  series, and the parent revives the spans onto its tracer and adopts
+  the series into its registry — ``--metrics-out`` sees one merged view.
+
+Workers are spawned (not forked): each child starts from a clean
+interpreter, so no parent state (open instruments, BLAS thread pools,
+trace stacks) can leak into a task's execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import time
+import traceback as _traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Sequence
+
+from ..obs import registry as obs_registry
+from ..obs import trace as obs_trace
+from ..obs.registry import MetricRegistry, get_registry
+from ..obs.trace import Span
+
+__all__ = [
+    "TaskSpec",
+    "TaskResult",
+    "derive_seed",
+    "run_tasks",
+    "revive_span",
+]
+
+#: upper bound (exclusive) for derived seeds; fits every numpy seed API
+_SEED_SPACE = 2**32
+
+
+def derive_seed(base_seed: int, *key_parts: Any) -> int:
+    """Stable per-task seed from the task key plus a base seed.
+
+    Uses SHA-256 over the repr of the parts (never Python's randomized
+    ``hash``), so the same ``(base_seed, key)`` maps to the same seed in
+    every process, interpreter launch, and ``--jobs`` setting — task
+    randomness depends only on the task's identity, not on how many
+    sibling tasks ran before it.
+    """
+    material = repr((int(base_seed), *key_parts)).encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big") % _SEED_SPACE
+
+
+@dataclass
+class TaskSpec:
+    """One independent unit of experiment work.
+
+    ``fn`` is a dotted path to a module-level callable (so specs cross
+    the process boundary without pickling closures) invoked as
+    ``fn(**params)``. ``params`` must be picklable and must fully
+    determine the result — including any seed — for the determinism and
+    caching guarantees to hold. ``cacheable`` opts a unit out of the
+    result cache (e.g. whole-experiment units that exist to print).
+    """
+
+    experiment: str
+    key: tuple[Any, ...]
+    fn: str
+    params: dict[str, Any] = field(default_factory=dict)
+    cacheable: bool = True
+
+    @property
+    def name(self) -> str:
+        return "/".join([self.experiment, *(str(k) for k in self.key)])
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task: a value, a cache hit, or an isolated error."""
+
+    spec: TaskSpec
+    value: Any = None
+    error: str | None = None
+    traceback: str | None = None
+    duration: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _resolve(path: str) -> Callable[..., Any]:
+    """Import ``pkg.module.attr`` and return the attribute."""
+    module_name, _, attr = path.rpartition(".")
+    if not module_name:
+        raise ValueError(f"task fn must be a dotted module path, got {path!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def _execute(fn_path: str, params: dict[str, Any], span_name: str) -> dict[str, Any]:
+    """Run one task under a tracing span; errors are serialized, never raised."""
+    t0 = time.perf_counter()
+    record: dict[str, Any] = {"value": None, "error": None, "traceback": None}
+    try:
+        with obs_trace.span(span_name):
+            record["value"] = _resolve(fn_path)(**params)
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = _traceback.format_exc()
+    record["duration"] = time.perf_counter() - t0
+    return record
+
+
+def _execute_in_worker(item: tuple[str, dict[str, Any], str]) -> dict[str, Any]:
+    """Worker-side wrapper: isolate obs state, run, serialize spans/metrics.
+
+    Runs in a spawned child. The fresh registry installed here is the
+    child's process-global default, so any instrumentation the task
+    triggers (trainer gauges, plan-cache counters, serving histograms)
+    lands in it and travels back to the parent as plain series dicts.
+    """
+    fn_path, params, span_name = item
+    registry = obs_registry.MetricRegistry()
+    obs_registry.set_default_registry(registry)
+    tracer = obs_trace.default_tracer()
+    tracer.clear()
+    record = _execute(fn_path, params, span_name)
+    record["spans"] = [s.to_dict() for s in tracer.finished]
+    record["metrics"] = registry.snapshot()["series"]
+    return record
+
+
+def revive_span(data: dict[str, Any], tracer: obs_trace.Tracer | None = None) -> Span:
+    """Rebuild a worker's serialized span tree on this process's tracer.
+
+    Durations are preserved exactly (``t_start=0``); child spans are
+    reattached recursively so ``span.render()`` of a pooled task looks
+    the same as an in-process one.
+    """
+    span = Span(str(data.get("name", "task")))
+    span.t_start = 0.0
+    span.t_end = float(data.get("duration", 0.0))
+    span.status = data.get("status", "ok")
+    span.error = data.get("error")
+    span.dropped_children = int(data.get("dropped_children", 0))
+    for key, amount in (data.get("counters") or {}).items():
+        span.add(key, amount)
+    for child_data in data.get("children") or ():
+        child = revive_span(child_data)
+        span._children = span._children or []
+        span._children.append(child)
+        span.child_time += child.duration
+    if tracer is not None:
+        tracer.finished.append(span)
+    return span
+
+
+def _to_result(spec: TaskSpec, record: dict[str, Any]) -> TaskResult:
+    return TaskResult(
+        spec=spec,
+        value=record["value"],
+        error=record["error"],
+        traceback=record["traceback"],
+        duration=record["duration"],
+    )
+
+
+def run_tasks(
+    tasks: Sequence[TaskSpec],
+    jobs: int = 1,
+    cache: Any | None = None,
+    registry: MetricRegistry | None = None,
+) -> list[TaskResult]:
+    """Execute tasks — inline for ``jobs <= 1``, else on a spawn pool.
+
+    Results come back in task order. With a :class:`~.cache.ResultCache`,
+    each cacheable task is looked up first (hits skip execution entirely)
+    and successful misses are stored after execution. Worker failures
+    (including a worker that dies mid-task) are confined to their own
+    :class:`TaskResult`.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    reg = get_registry(registry)
+
+    def count(status: str) -> None:
+        reg.counter(
+            "experiment_tasks_total",
+            "Experiment task executions by outcome",
+            labels={"status": status},
+        ).inc()
+
+    results: list[TaskResult | None] = [None] * len(tasks)
+    digests: dict[int, str] = {}
+    pending: list[int] = []
+    for i, spec in enumerate(tasks):
+        if cache is not None and spec.cacheable:
+            digest = cache.task_digest(spec)
+            digests[i] = digest
+            hit, value = cache.get(digest)
+            if hit:
+                results[i] = TaskResult(spec=spec, value=value, cached=True)
+                count("cached")
+                continue
+        pending.append(i)
+
+    if pending and (jobs <= 1 or len(pending) == 1):
+        for i in pending:
+            spec = tasks[i]
+            results[i] = _to_result(spec, _execute(spec.fn, spec.params, f"task:{spec.name}"))
+    elif pending:
+        tracer = obs_trace.default_tracer()
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), mp_context=get_context("spawn")
+        ) as pool:
+            futures = [
+                (i, pool.submit(
+                    _execute_in_worker,
+                    (tasks[i].fn, tasks[i].params, f"task:{tasks[i].name}"),
+                ))
+                for i in pending
+            ]
+            for i, future in futures:
+                spec = tasks[i]
+                try:
+                    record = future.result()
+                except Exception as exc:  # worker died (e.g. BrokenProcessPool)
+                    record = {
+                        "value": None,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": _traceback.format_exc(),
+                        "duration": 0.0,
+                    }
+                for span_data in record.get("spans") or ():
+                    revive_span(span_data, tracer)
+                reg.adopt_series(record.get("metrics") or ())
+                results[i] = _to_result(spec, record)
+
+    for i in pending:
+        result = results[i]
+        assert result is not None
+        count("ok" if result.ok else "error")
+        if cache is not None and result.ok and i in digests:
+            cache.put(digests[i], result.value)
+    return [r for r in results if r is not None]

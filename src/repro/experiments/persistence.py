@@ -16,6 +16,8 @@ from typing import Any
 
 import numpy as np
 
+from ..ioutil import atomic_write_json
+
 __all__ = ["to_jsonable", "save_result", "load_result"]
 
 
@@ -45,16 +47,13 @@ def to_jsonable(obj: Any) -> Any:
 
 
 def save_result(result: Any, path: str | Path, experiment: str = "") -> Path:
-    """Write a result object with provenance metadata; returns the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Atomically write a result object with provenance metadata."""
     payload = {
         "experiment": experiment,
         "written_at": datetime.now(timezone.utc).isoformat(),
         "result": to_jsonable(result),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    return atomic_write_json(path, payload)
 
 
 def load_result(path: str | Path) -> dict:

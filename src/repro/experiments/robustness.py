@@ -10,26 +10,39 @@ EXPERIMENTS.md's "shape reproduced" statements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 import numpy as np
 
 from ..data.pipeline import PipelineConfig, PredictionPipeline
-from ..traces.generator import ClusterTraceGenerator, TraceConfig
+from ..traces.generator import generate_cluster_cached
 from .accuracy import model_kwargs_for
 from .config import ExperimentProfile, get_profile
+from .parallel import TaskSpec, run_tasks
 
-__all__ = ["RobustnessResult", "run_robustness"]
+__all__ = [
+    "RobustnessResult",
+    "run_robustness",
+    "run_robustness_cell",
+    "robustness_tasks",
+]
 
 
 @dataclass
 class RobustnessResult:
-    """model → per-seed metric arrays, plus derived statistics."""
+    """model → per-seed metric arrays, plus derived statistics.
+
+    A crashed (seed, model) cell leaves ``nan`` in its slot — list
+    lengths stay aligned with ``seeds`` — and records the traceback
+    summary in ``errors``.
+    """
 
     scenario: str
     level: str
     seeds: tuple[int, ...] = ()
     mse: dict[str, list[float]] = field(default_factory=dict)
     mae: dict[str, list[float]] = field(default_factory=dict)
+    errors: dict[tuple[int, str], str] = field(default_factory=dict)
 
     def summary(self, metric: str = "mse") -> dict[str, tuple[float, float]]:
         """model → (mean, std) over seeds."""
@@ -58,12 +71,68 @@ class RobustnessResult:
         return {m: r / len(self.seeds) for m, r in ranks.items()}
 
 
+def run_robustness_cell(
+    prof: ExperimentProfile,
+    scenario: str,
+    level: str,
+    model: str,
+    seed: int,
+) -> dict[str, Any]:
+    """One (seed, model) robustness cell — pure in its arguments.
+
+    Regenerates the substrate under ``seed`` (memoized per process, so
+    sibling models on the same seed share one trace) and trains/evals a
+    single model with the seed threaded into its hyper-parameters.
+    """
+    trace = generate_cluster_cached(
+        n_machines=max(prof.n_machines, 1),
+        containers_per_machine=prof.containers_per_machine,
+        n_steps=prof.n_steps,
+        seed=seed,
+    )
+    entity = trace.machines[0] if level == "machines" else trace.containers[0]
+    pipe = PredictionPipeline(
+        PipelineConfig(scenario=scenario, window=prof.window, horizon=prof.horizon)
+    )
+    seed_prof = replace(prof, seed=seed)
+    run = pipe.run(entity, model, model_kwargs_for(model, seed_prof))
+    return {"mse": run.metrics["mse"], "mae": run.metrics["mae"]}
+
+
+def robustness_tasks(
+    prof: ExperimentProfile,
+    scenario: str,
+    level: str,
+    models: tuple[str, ...],
+    seeds: tuple[int, ...],
+) -> list[TaskSpec]:
+    """Independent task specs for every (seed, model) robustness cell."""
+    return [
+        TaskSpec(
+            experiment="robustness",
+            key=(seed, model),
+            fn="repro.experiments.robustness.run_robustness_cell",
+            params={
+                "prof": prof,
+                "scenario": scenario,
+                "level": level,
+                "model": model,
+                "seed": seed,
+            },
+        )
+        for seed in seeds
+        for model in models
+    ]
+
+
 def run_robustness(
     profile: str | ExperimentProfile = "quick",
     scenario: str = "mul_exp",
     level: str = "machines",
     models: tuple[str, ...] = ("lstm", "xgboost", "rptcn"),
     seeds: tuple[int, ...] = (1, 2, 3),
+    jobs: int = 1,
+    cache: Any | None = None,
 ) -> RobustnessResult:
     """Repeat one Table II cell across substrate+training seeds."""
     prof = get_profile(profile) if isinstance(profile, str) else profile
@@ -72,26 +141,14 @@ def run_robustness(
         result.mse[m] = []
         result.mae[m] = []
 
-    for seed in seeds:
-        gen = ClusterTraceGenerator(
-            TraceConfig(
-                n_machines=max(prof.n_machines, 1),
-                containers_per_machine=prof.containers_per_machine,
-                n_steps=prof.n_steps,
-                seed=seed,
-            )
-        )
-        trace = gen.generate()
-        entity = trace.machines[0] if level == "machines" else trace.containers[0]
-
-        pipe = PredictionPipeline(
-            PipelineConfig(scenario=scenario, window=prof.window, horizon=prof.horizon)
-        )
-        prepared = pipe.prepare(entity)
-        seed_prof = replace(prof, seed=seed)
-        for model in models:
-            run = pipe.run(entity, model, model_kwargs_for(model, seed_prof),
-                           prepared=prepared)
-            result.mse[model].append(run.metrics["mse"])
-            result.mae[model].append(run.metrics["mae"])
+    tasks = robustness_tasks(prof, scenario, level, tuple(models), tuple(seeds))
+    for task in run_tasks(tasks, jobs=jobs, cache=cache):
+        seed, model = task.spec.key
+        if task.ok:
+            result.mse[model].append(task.value["mse"])
+            result.mae[model].append(task.value["mae"])
+        else:
+            result.errors[(seed, model)] = task.error or "unknown error"
+            result.mse[model].append(float("nan"))
+            result.mae[model].append(float("nan"))
     return result

@@ -3,36 +3,58 @@
 Usage::
 
     python -m repro.experiments.runner --experiment table2 --profile default
-    python -m repro.experiments.runner --experiment all --profile quick
+    python -m repro.experiments.runner --experiment all --profile quick --jobs 2
     python -m repro.experiments.runner -e resilience --metrics-out metrics.prom
+
+``--jobs N`` fans independent units out to worker processes: whole
+experiments when several are selected (``all`` / ``extensions``), and
+individual (model, scenario, granularity) cells inside the grid
+harnesses (``table2``, ``robustness``, ``generalization``). Results are
+bit-identical for every ``N`` — see :mod:`repro.experiments.parallel`.
+
+``--cache-dir`` enables the content-addressed result cache (default
+``.rptcn-cache``): a rerun with unchanged code, profile, and parameters
+skips straight to the cached numbers. ``--no-cache`` disables it,
+``--cache-clear`` wipes it first.
 
 ``--metrics-out`` snapshots the process metric registry (gate/supervisor
 counters, serving latency histograms, trainer gauges, nn plan-cache
-stats) after every experiment — Prometheus text format for ``.prom`` /
-``.txt`` paths, JSONL for ``.json`` / ``.jsonl``.
+stats, task/cache counters) after every experiment — Prometheus text
+format for ``.prom`` / ``.txt`` paths, JSONL for ``.json`` / ``.jsonl``.
+
+A crashed experiment or cell no longer takes the sweep down: the failure
+is reported, remaining experiments still run, and the process exits
+nonzero so CI goes red.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import sys
 import time
+import traceback as _traceback
+from contextlib import redirect_stdout
+from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from ..analysis.reporting import format_table, format_table2, render_ascii_series
 from ..obs.export import write_snapshot
 from .accuracy import run_table2
+from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .characterization import run_fig1, run_fig2, run_fig3, run_fig7
 from .config import PROFILES
 from .convergence import run_fig9, run_fig10
 from .curves import run_fig8
 from .generalization import run_generalization
 from .horizon import run_horizon_sweep
+from .parallel import TaskSpec, run_tasks
 from .resilience import run_resilience
 from .robustness import run_robustness
 
-__all__ = ["main"]
+__all__ = ["main", "ExperimentError", "RunContext"]
 
 #: paper artifacts (always in --experiment all)
 EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10")
@@ -40,7 +62,28 @@ EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10"
 EXTENSIONS = ("horizon", "robustness", "generalization", "resilience")
 
 
-def _print_fig1(profile: str) -> None:
+class ExperimentError(RuntimeError):
+    """An experiment completed with failed cells."""
+
+
+@dataclass
+class RunContext:
+    """Execution options threaded from the CLI into each harness."""
+
+    jobs: int = 1
+    cache: ResultCache | None = None
+
+
+def _check_errors(name: str, errors: dict) -> None:
+    """Report failed cells and escalate to a nonzero exit."""
+    if not errors:
+        return
+    for key, message in errors.items():
+        print(f"FAILED cell {key}: {message}")
+    raise ExperimentError(f"{name}: {len(errors)} cell(s) failed")
+
+
+def _print_fig1(profile: str, ctx: RunContext) -> None:
     res = run_fig1(profile)
     print(f"Fig. 1 — resource utilization of container {res.entity_id}")
     for name, series in res.series.items():
@@ -48,7 +91,7 @@ def _print_fig1(profile: str) -> None:
     print(f"cpu dynamism (mean |step|): {res.dynamism():.3f} %/sample")
 
 
-def _print_fig2(profile: str) -> None:
+def _print_fig2(profile: str, ctx: RunContext) -> None:
     res = run_fig2(profile)
     print(f"Fig. 2 — cluster-average CPU boxplots (window={res.window} samples)")
     rows = [
@@ -59,14 +102,14 @@ def _print_fig2(profile: str) -> None:
     print("summary:", {k: round(v, 3) for k, v in res.summary.items()})
 
 
-def _print_fig3(profile: str) -> None:
+def _print_fig3(profile: str, ctx: RunContext) -> None:
     res = run_fig3(profile)
     print(f"Fig. 3 — fraction of machines below {res.threshold:.0f}% CPU")
     print(render_ascii_series(res.fractions, label="frac<50%"))
     print(f"overall: {res.overall_fraction:.3f}")
 
 
-def _print_fig7(profile: str) -> None:
+def _print_fig7(profile: str, ctx: RunContext) -> None:
     res = run_fig7(profile)
     print(f"Fig. 7 — indicator correlation matrix of {res.entity_id}")
     short = [n[:8] for n in res.names]
@@ -75,16 +118,17 @@ def _print_fig7(profile: str) -> None:
     print("top-4 correlated with cpu:", res.top_correlated(4))
 
 
-def _print_table2(profile: str) -> None:
-    res = run_table2(profile)
+def _print_table2(profile: str, ctx: RunContext) -> None:
+    res = run_table2(profile, jobs=ctx.jobs, cache=ctx.cache)
     print(format_table2(res.metrics))
+    _check_errors("table2", res.errors)
     lo, hi = res.improvement_range("mae")
     print(f"RPTCN MAE improvement over Mul-Exp baselines: {lo:.2f}% .. {hi:.2f}%")
     for level in ("containers", "machines"):
         print(f"best model (mul_exp, {level}):", res.best_model("mul_exp", level))
 
 
-def _print_fig8(profile: str) -> None:
+def _print_fig8(profile: str, ctx: RunContext) -> None:
     res = run_fig8(profile)
     print(f"Fig. 8 — predicted vs true around the mutation (jump at test idx {res.jump_index})")
     print(render_ascii_series(res.truth, label="truth"))
@@ -109,15 +153,15 @@ def _print_convergence(res, title: str) -> None:
     print(format_table(["model", "initial", "final", "best", "ep@90%"], rows))
 
 
-def _print_fig9(profile: str) -> None:
+def _print_fig9(profile: str, ctx: RunContext) -> None:
     _print_convergence(run_fig9(profile), "Fig. 9 — training loss on containers")
 
 
-def _print_fig10(profile: str) -> None:
+def _print_fig10(profile: str, ctx: RunContext) -> None:
     _print_convergence(run_fig10(profile), "Fig. 10 — validation loss on machines")
 
 
-def _print_horizon(profile: str) -> None:
+def _print_horizon(profile: str, ctx: RunContext) -> None:
     res = run_horizon_sweep(profile)
     rows = [
         [m, h, per[h]["mse"] * 100, per[h]["mae"] * 100]
@@ -129,8 +173,8 @@ def _print_horizon(profile: str) -> None:
     print("best at longest horizon:", res.best_at(max(res.horizons)))
 
 
-def _print_robustness(profile: str) -> None:
-    res = run_robustness(profile)
+def _print_robustness(profile: str, ctx: RunContext) -> None:
+    res = run_robustness(profile, jobs=ctx.jobs, cache=ctx.cache)
     ranks = res.mean_rank()
     wins = res.win_counts()
     rows = [
@@ -139,10 +183,11 @@ def _print_robustness(profile: str) -> None:
     ]
     print(format_table(["model", "MSE(e-2) mean±std", "mean rank", "wins"], rows,
                        title=f"{res.level}/{res.scenario} across seeds {res.seeds}"))
+    _check_errors("robustness", res.errors)
 
 
-def _print_generalization(profile: str) -> None:
-    res = run_generalization(profile)
+def _print_generalization(profile: str, ctx: RunContext) -> None:
+    res = run_generalization(profile, jobs=ctx.jobs, cache=ctx.cache)
     rows = [
         [t, e["transfer"]["mse"] * 100, e["in_domain"]["mse"] * 100,
          f"x{res.gap(t):.2f}"]
@@ -152,10 +197,11 @@ def _print_generalization(profile: str) -> None:
         ["target", "transfer MSE(e-2)", "in-domain MSE(e-2)", "gap"], rows,
         title=f"{res.model} trained on {res.source_id}, transferred unchanged",
     ))
+    _check_errors("generalization", res.errors)
     print(f"mean generalization gap: x{res.mean_gap():.2f}")
 
 
-def _print_resilience(profile: str) -> None:
+def _print_resilience(profile: str, ctx: RunContext) -> None:
     res = run_resilience(profile)
     rows = [
         [
@@ -194,6 +240,88 @@ _RUNNERS = {
 }
 
 
+def _experiment_unit(name: str, profile: str, cache_dir: str | None) -> dict[str, Any]:
+    """Run one whole experiment as a pooled unit; never raises.
+
+    Stdout is captured so the parent can replay it in deterministic
+    order; cells inside the child run serially (the parent pool already
+    owns the parallelism) but still consult the shared on-disk cache.
+    """
+    ctx = RunContext(jobs=1, cache=ResultCache(cache_dir) if cache_dir else None)
+    out = io.StringIO()
+    record: dict[str, Any] = {"output": "", "error": None, "traceback": None}
+    try:
+        with redirect_stdout(out):
+            _RUNNERS[name](profile, ctx)
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = _traceback.format_exc()
+    record["output"] = out.getvalue()
+    return record
+
+
+def _run_serial(
+    targets: tuple[str, ...], args: argparse.Namespace, ctx: RunContext
+) -> list[str]:
+    """Run experiments one after another in this process."""
+    failed: list[str] = []
+    for name in targets:
+        t0 = time.time()
+        print(f"\n=== {name} (profile={args.profile}) " + "=" * 30)
+        try:
+            _RUNNERS[name](args.profile, ctx)
+        except Exception as exc:  # noqa: BLE001 — keep the sweep alive
+            if not isinstance(exc, ExperimentError):
+                print(_traceback.format_exc(), end="")
+            print(f"FAILED {name}: {type(exc).__name__}: {exc}")
+            failed.append(name)
+        print(f"--- {name} done in {time.time() - t0:.1f}s")
+        if args.metrics_out:
+            path = write_snapshot(args.metrics_out)
+            print(f"metrics snapshot -> {path}")
+    return failed
+
+
+def _run_parallel(
+    targets: tuple[str, ...], args: argparse.Namespace, ctx: RunContext
+) -> list[str]:
+    """Fan whole experiments out to worker processes, replay output in order."""
+    specs = [
+        TaskSpec(
+            experiment="runner",
+            key=(name,),
+            fn="repro.experiments.runner._experiment_unit",
+            params={
+                "name": name,
+                "profile": args.profile,
+                # explicit None test: ResultCache has __len__, an empty one is falsy
+                "cache_dir": None if ctx.cache is None else str(ctx.cache.root),
+            },
+            cacheable=False,  # units exist to print; their cells cache individually
+        )
+        for name in targets
+    ]
+    failed: list[str] = []
+    for spec, task in zip(specs, run_tasks(specs, jobs=ctx.jobs)):
+        name = spec.key[0]
+        print(f"\n=== {name} (profile={args.profile}) " + "=" * 30)
+        error = task.error if not task.ok else task.value.get("error")
+        if task.ok:
+            print(task.value["output"], end="")
+            if error and task.value.get("traceback") and "ExperimentError" not in error:
+                print(task.value["traceback"], end="")
+        elif task.traceback:
+            print(task.traceback, end="")
+        if error:
+            print(f"FAILED {name}: {error}")
+            failed.append(name)
+        print(f"--- {name} done in {task.duration:.1f}s")
+        if args.metrics_out:
+            path = write_snapshot(args.metrics_out)
+            print(f"metrics snapshot -> {path}")
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="RPTCN reproduction experiments")
     parser.add_argument(
@@ -211,6 +339,31 @@ def main(argv: list[str] | None = None) -> int:
         help="sizing profile (quick/default/paper)",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent experiments/cells "
+        "(results are identical for every N; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"content-addressed result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this run",
+    )
+    parser.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="wipe the result cache before running",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
@@ -218,6 +371,14 @@ def main(argv: list[str] | None = None) -> int:
         "(.prom/.txt = Prometheus text format, .json/.jsonl = JSONL)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    if args.cache_clear:
+        removed = ResultCache(args.cache_dir).clear()
+        print(f"cache cleared: {removed} entries removed from {args.cache_dir}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    ctx = RunContext(jobs=args.jobs, cache=cache)
 
     if args.experiment == "all":
         targets: tuple[str, ...] = EXPERIMENTS
@@ -225,14 +386,21 @@ def main(argv: list[str] | None = None) -> int:
         targets = EXTENSIONS
     else:
         targets = (args.experiment,)
-    for name in targets:
-        t0 = time.time()
-        print(f"\n=== {name} (profile={args.profile}) " + "=" * 30)
-        _RUNNERS[name](args.profile)
-        print(f"--- {name} done in {time.time() - t0:.1f}s")
-        if args.metrics_out:
-            path = write_snapshot(args.metrics_out)
-            print(f"metrics snapshot -> {path}")
+
+    if len(targets) > 1 and ctx.jobs > 1:
+        failed = _run_parallel(targets, args, ctx)
+    else:
+        failed = _run_serial(targets, args, ctx)
+
+    if cache is not None and (cache.hits or cache.misses or cache.stores):
+        print(
+            f"\nresult cache [{cache.root}]: {cache.hits} hit(s), "
+            f"{cache.misses} miss(es), {cache.stores} store(s), "
+            f"{cache.invalidated} invalidated"
+        )
+    if failed:
+        print(f"\nFAILED experiments: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 

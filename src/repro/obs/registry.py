@@ -372,6 +372,49 @@ class MetricRegistry:
         with self._lock:
             self._collectors[name or f"collector-{id(fn)}"] = fn
 
+    def adopt_series(self, series: Any) -> int:
+        """Reconstruct snapshot series as owned instruments and register them.
+
+        The merge half of cross-process observability: a worker process
+        snapshots its registry (plain dicts), ships the series over the
+        pool boundary, and the parent adopts them here. Adopted
+        instruments merge with same-key native ones at collect time
+        exactly like any other registered instrument — counters and
+        histogram buckets sum across workers. Unknown kinds and
+        malformed entries are skipped; returns how many were adopted.
+        """
+        adopted = 0
+        for entry in series:
+            try:
+                kind = entry["kind"]
+                name = entry["name"]
+                labels = dict(entry.get("labels") or {})
+                help_text = entry.get("help", "")
+                inst: _Instrument
+                if kind == "counter":
+                    inst = Counter(name, help_text, labels)
+                    inst.restore(float(entry["value"]))
+                elif kind == "gauge":
+                    inst = Gauge(name, help_text, labels)
+                    inst.set(float(entry["value"]))
+                elif kind == "histogram":
+                    inst = Histogram(name, help_text, labels,
+                                     buckets=tuple(entry["bounds"]))
+                    if entry.get("count"):
+                        inst.restore(
+                            [int(c) for c in entry["bucket_counts"]],
+                            float(entry["sum"]),
+                            float(entry["min"]),
+                            float(entry["max"]),
+                        )
+                else:
+                    continue
+            except (KeyError, TypeError, ValueError):
+                continue
+            self.register(inst)
+            adopted += 1
+        return adopted
+
     # -- collection -------------------------------------------------------------
 
     def _live_instruments(self) -> list[_Instrument]:

@@ -9,7 +9,7 @@ paper reports about the real trace — see ``DESIGN.md`` §2.
 """
 
 from .corruption import CorruptionConfig, corrupt_trace
-from .generator import ClusterTraceGenerator, TraceConfig
+from .generator import ClusterTraceGenerator, TraceConfig, generate_cluster_cached
 from .io import read_trace_csv, write_trace_csv
 from .presets import PRESETS, preset
 from .schema import (
@@ -40,6 +40,7 @@ __all__ = [
     "ClusterTrace",
     "ContainerKind",
     "ClusterTraceGenerator",
+    "generate_cluster_cached",
     "TraceConfig",
     "CorruptionConfig",
     "corrupt_trace",

@@ -21,13 +21,14 @@ Cluster-level statistics are calibrated to §II of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from .schema import ClusterTrace, EntityTrace, INDICATORS
 from .workloads import WORKLOAD_ARCHETYPES, ar1_noise, periodic_load
 
-__all__ = ["TraceConfig", "ClusterTraceGenerator"]
+__all__ = ["TraceConfig", "ClusterTraceGenerator", "generate_cluster_cached"]
 
 
 @dataclass
@@ -233,3 +234,33 @@ class ClusterTraceGenerator:
             values=self.indicators_from_load(load, rng),
             workload=archetype,
         )
+
+
+@lru_cache(maxsize=8)
+def _generate_cached(
+    n_machines: int, containers_per_machine: int, n_steps: int, seed: int
+) -> ClusterTrace:
+    return ClusterTraceGenerator(
+        TraceConfig(
+            n_machines=n_machines,
+            containers_per_machine=containers_per_machine,
+            n_steps=n_steps,
+            seed=seed,
+        )
+    ).generate()
+
+
+def generate_cluster_cached(
+    *, n_machines: int, containers_per_machine: int, n_steps: int, seed: int
+) -> ClusterTrace:
+    """Memoized :meth:`ClusterTraceGenerator.generate` on default knobs.
+
+    The cell-decomposed experiment harnesses regenerate their cluster
+    per task; within one process this memo hands every sibling cell the
+    same trace object instead of resynthesizing it. Generation is
+    deterministic in the config, so the memo is observationally
+    equivalent to a fresh ``generate()`` — callers must treat the shared
+    trace as read-only (they already do: the serial harnesses reused one
+    trace across all cells).
+    """
+    return _generate_cached(n_machines, containers_per_machine, n_steps, seed)

@@ -1,0 +1,38 @@
+"""Toy task functions for the parallel-executor tests.
+
+Spawned workers import tasks by dotted path, so these must live in a
+real module (a closure or a function defined inside a test body cannot
+cross the process boundary).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
+
+
+def square(x: int, seed: int = 0) -> dict:
+    return {"x": x, "seed": seed, "value": x * x}
+
+
+def boom(x: int) -> dict:
+    raise ValueError(f"task {x} exploded")
+
+
+def instrumented(x: int) -> int:
+    """Emit a counter and a child span so merging can be asserted."""
+    obs_registry.get_registry().counter(
+        "paralleltest_work_total", "toy work items", labels={"kind": "unit"}
+    ).inc()
+    with obs_trace.span("paralleltest:inner"):
+        pass
+    return x
+
+
+def touch_and_square(marker_dir: str, x: int) -> dict:
+    """Leave a per-invocation marker file so cache skips are observable."""
+    path = Path(marker_dir) / f"ran_{x}.marker"
+    path.write_text(str(x))
+    return {"value": x * x}

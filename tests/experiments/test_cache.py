@@ -1,0 +1,169 @@
+"""Content-addressed result cache correctness.
+
+The cache must hit only when *everything* that determines a result is
+unchanged — experiment, function, parameters, and the source code the
+computation flows through — and must never serve a torn or hand-edited
+entry.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import (
+    DEFAULT_FINGERPRINT_MODULES,
+    ResultCache,
+    _compute_fingerprint,
+    code_fingerprint,
+)
+from repro.experiments.parallel import TaskSpec
+from repro.obs.registry import MetricRegistry
+
+
+def spec(**over):
+    base = dict(
+        experiment="table2",
+        key=("uni", "lstm", "machines"),
+        fn="repro.experiments.accuracy.run_table2_cell",
+        params={"scenario": "uni", "model": "lstm", "level": "machines", "seed": 7},
+    )
+    base.update(over)
+    return TaskSpec(**base)
+
+
+class TestDigest:
+    def test_digest_is_stable(self, tmp_path):
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        assert cache.task_digest(spec()) == cache.task_digest(spec())
+
+    def test_digest_changes_with_params(self, tmp_path):
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        a = cache.task_digest(spec())
+        b = cache.task_digest(spec(params={"scenario": "uni", "model": "lstm",
+                                           "level": "machines", "seed": 8}))
+        assert a != b
+
+    def test_digest_changes_with_experiment_and_fn(self, tmp_path):
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        a = cache.task_digest(spec())
+        assert a != cache.task_digest(spec(experiment="robustness"))
+        assert a != cache.task_digest(spec(fn="repro.experiments.accuracy.other"))
+
+    def test_digest_changes_with_profile(self, tmp_path):
+        from repro.experiments.config import ExperimentProfile
+
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        p1 = ExperimentProfile(name="t", n_steps=450, n_machines=2,
+                               containers_per_machine=1, n_entities=1, epochs=3)
+        p2 = ExperimentProfile(name="t", n_steps=450, n_machines=2,
+                               containers_per_machine=1, n_entities=1, epochs=4)
+        a = cache.task_digest(spec(params={"prof": p1}))
+        b = cache.task_digest(spec(params={"prof": p2}))
+        assert a != b
+
+    def test_code_fingerprint_tracks_source_bytes(self, tmp_path, monkeypatch):
+        """Editing any fingerprinted source file must change the digest."""
+        pkg = tmp_path / "fp_probe_pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("X = 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+
+        before = _compute_fingerprint(("fp_probe_pkg",))
+        (pkg / "__init__.py").write_text("X = 2\n")
+        after = _compute_fingerprint(("fp_probe_pkg",))
+        assert before != after
+
+    def test_default_fingerprint_covers_compute_path(self):
+        assert "repro.models" in DEFAULT_FINGERPRINT_MODULES
+        assert "repro.nn" in DEFAULT_FINGERPRINT_MODULES
+        assert len(code_fingerprint()) == 16
+
+
+class TestStorage:
+    def test_roundtrip_hit(self, tmp_path):
+        reg = MetricRegistry()
+        cache = ResultCache(tmp_path, registry=reg)
+        digest = cache.task_digest(spec())
+        hit, _ = cache.get(digest)
+        assert not hit and cache.misses == 1
+
+        cache.put(digest, {"mse": 0.5, "mae": 0.3})
+        hit, value = cache.get(digest)
+        assert hit and value == {"mse": 0.5, "mae": 0.3}
+        assert cache.hits == 1 and cache.stores == 1
+        assert len(cache) == 1
+
+    def test_distinct_digests_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        d1, d2 = cache.task_digest(spec()), cache.task_digest(spec(experiment="x"))
+        cache.put(d1, {"v": 1})
+        cache.put(d2, {"v": 2})
+        assert cache.get(d1)[1] == {"v": 1}
+        assert cache.get(d2)[1] == {"v": 2}
+
+    def test_corrupt_entry_discarded_and_recomputed(self, tmp_path):
+        """A torn/tampered file must fail verification, be deleted, and miss."""
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        digest = cache.task_digest(spec())
+        path = cache.put(digest, {"mse": 0.5})
+
+        doc = json.loads(path.read_text())
+        doc["payload"]["mse"] = 99.0  # tamper without fixing the checksum
+        path.write_text(json.dumps(doc))
+
+        hit, value = cache.get(digest)
+        assert not hit and value is None
+        assert cache.invalidated == 1
+        assert not path.exists()
+
+        # recompute path: a fresh put makes it servable again
+        cache.put(digest, {"mse": 0.5})
+        hit, value = cache.get(digest)
+        assert hit and value == {"mse": 0.5}
+
+    def test_truncated_entry_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        digest = cache.task_digest(spec())
+        path = cache.put(digest, {"mse": 0.5})
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        hit, _ = cache.get(digest)
+        assert not hit
+        assert cache.invalidated == 1
+
+    def test_schema_mismatch_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        digest = cache.task_digest(spec())
+        path = cache.put(digest, {"mse": 0.5})
+        doc = json.loads(path.read_text())
+        doc["schema"] = "repro-cache/v0"
+        path.write_text(json.dumps(doc))
+        hit, _ = cache.get(digest)
+        assert not hit
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        for i in range(3):
+            cache.put(cache.task_digest(spec(experiment=f"e{i}")), {"i": i})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.clear() == 0  # idempotent on empty/missing root
+
+    def test_events_reach_metric_registry(self, tmp_path):
+        reg = MetricRegistry()
+        cache = ResultCache(tmp_path, registry=reg)
+        digest = cache.task_digest(spec())
+        cache.get(digest)
+        cache.put(digest, {"v": 1})
+        cache.get(digest)
+        events = {
+            s["labels"]["event"]: s["value"]
+            for s in reg.snapshot()["series"]
+            if s["name"] == "experiment_cache_events_total"
+        }
+        assert events == {"miss": 1.0, "store": 1.0, "hit": 1.0}
+
+    def test_non_jsonable_value_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path, registry=MetricRegistry())
+        with pytest.raises(TypeError):
+            cache.put(cache.task_digest(spec()), {"bad": object()})

@@ -5,6 +5,14 @@ import pytest
 from repro.experiments import runner
 
 
+def _fake_runners(called):
+    """Replacement _RUNNERS recording invocations under the (profile, ctx) ABI."""
+    return {
+        name: (lambda n: lambda p, ctx: called.append(n))(name)
+        for name in runner.EXPERIMENTS + runner.EXTENSIONS
+    }
+
+
 class TestWiring:
     def test_every_experiment_has_a_runner(self):
         for name in runner.EXPERIMENTS + runner.EXTENSIONS:
@@ -18,22 +26,94 @@ class TestWiring:
     def test_extensions_choice_accepted(self, monkeypatch):
         """--experiment extensions resolves to the extension harnesses."""
         called = []
-        monkeypatch.setattr(
-            runner, "_RUNNERS", {name: (lambda n: lambda p: called.append(n))(name)
-                                 for name in runner.EXPERIMENTS + runner.EXTENSIONS}
-        )
-        assert runner.main(["-e", "extensions", "-p", "quick"]) == 0
+        monkeypatch.setattr(runner, "_RUNNERS", _fake_runners(called))
+        assert runner.main(["-e", "extensions", "-p", "quick", "--no-cache"]) == 0
         assert called == list(runner.EXTENSIONS)
 
     def test_all_choice_runs_paper_artifacts_only(self, monkeypatch):
         called = []
-        monkeypatch.setattr(
-            runner, "_RUNNERS", {name: (lambda n: lambda p: called.append(n))(name)
-                                 for name in runner.EXPERIMENTS + runner.EXTENSIONS}
-        )
-        assert runner.main(["-e", "all", "-p", "quick"]) == 0
+        monkeypatch.setattr(runner, "_RUNNERS", _fake_runners(called))
+        assert runner.main(["-e", "all", "-p", "quick", "--no-cache"]) == 0
         assert called == list(runner.EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             runner.main(["-e", "nope"])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["-e", "fig1", "--jobs", "0"])
+
+
+class TestFailurePropagation:
+    def test_failing_experiment_gives_nonzero_exit(self, monkeypatch, capsys):
+        """A crashed experiment must turn into exit code 1, not silence."""
+        fake = _fake_runners([])
+        fake["fig2"] = lambda p, ctx: (_ for _ in ()).throw(RuntimeError("boom"))
+        monkeypatch.setattr(runner, "_RUNNERS", fake)
+        assert runner.main(["-e", "fig2", "--no-cache"]) == 1
+        out = capsys.readouterr()
+        assert "FAILED fig2" in out.out
+        assert "boom" in out.out
+
+    def test_failure_is_isolated_from_siblings(self, monkeypatch):
+        """One crashed experiment must not stop the remaining ones."""
+        called = []
+        fake = _fake_runners(called)
+
+        def explode(p, ctx):
+            called.append("fig2")
+            raise RuntimeError("boom")
+
+        fake["fig2"] = explode
+        monkeypatch.setattr(runner, "_RUNNERS", fake)
+        assert runner.main(["-e", "all", "--no-cache"]) == 1
+        assert called == list(runner.EXPERIMENTS)
+
+    def test_failed_cells_escalate(self):
+        """_check_errors raises once cell failures exist."""
+        with pytest.raises(runner.ExperimentError):
+            runner._check_errors("table2", {("uni", "lstm", "machines"): "ValueError: x"})
+        runner._check_errors("table2", {})  # no errors: no raise
+
+
+class TestCacheFlags:
+    def test_cache_clear_wipes_directory(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("ab" + "0" * 62, {"x": 1})
+        assert len(cache) == 1
+        monkeypatch.setattr(runner, "_RUNNERS", _fake_runners([]))
+        assert runner.main(
+            ["-e", "fig1", "--cache-dir", str(tmp_path / "cache"), "--cache-clear"]
+        ) == 0
+        assert len(cache) == 0
+        assert "cache cleared: 1" in capsys.readouterr().out
+
+    def test_no_cache_disables_cache(self, monkeypatch):
+        seen = {}
+
+        def probe(p, ctx):
+            seen["cache"] = ctx.cache
+
+        fake = _fake_runners([])
+        fake["fig1"] = probe
+        monkeypatch.setattr(runner, "_RUNNERS", fake)
+        assert runner.main(["-e", "fig1", "--no-cache"]) == 0
+        assert seen["cache"] is None
+
+    def test_cache_dir_and_jobs_reach_context(self, tmp_path, monkeypatch):
+        seen = {}
+
+        def probe(p, ctx):
+            seen["ctx"] = ctx
+
+        fake = _fake_runners([])
+        fake["fig1"] = probe
+        monkeypatch.setattr(runner, "_RUNNERS", fake)
+        assert runner.main(
+            ["-e", "fig1", "--jobs", "3", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        assert seen["ctx"].jobs == 3
+        assert str(seen["ctx"].cache.root) == str(tmp_path / "c")

@@ -159,12 +159,13 @@ class TestRunnerMetricsOut:
         from repro.experiments import runner
         from repro.obs.registry import default_registry
 
-        def fake(profile):
+        def fake(profile, ctx):
             default_registry().counter("runner_marker_total").inc()
 
         monkeypatch.setattr(runner, "_RUNNERS", {"fig1": fake})
         out = tmp_path / "m.prom"
-        assert runner.main(["-e", "fig1", "-p", "quick", "--metrics-out", str(out)]) == 0
+        assert runner.main(["-e", "fig1", "-p", "quick", "--no-cache",
+                            "--metrics-out", str(out)]) == 0
         text = out.read_text()
         assert "runner_marker_total" in text
         assert "# TYPE runner_marker_total counter" in text
