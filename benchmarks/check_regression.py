@@ -2,7 +2,8 @@
 """Gate BENCH_*.json snapshots against the committed baselines.
 
 CI regenerates the perf-smoke snapshots (``BENCH_parallel.json``,
-``BENCH_obs.json``, ...) on every run; this script diffs the fresh
+``BENCH_obs.json``, ``BENCH_serving.json``, ...) on every run; this
+script diffs the fresh
 numbers against the copies committed at ``--baseline-ref`` (default
 ``HEAD``) and fails when a wall-clock figure regressed by more than the
 threshold. Usable locally the same way CI uses it:

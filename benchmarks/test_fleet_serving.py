@@ -1,0 +1,70 @@
+"""Fleet serving throughput snapshot (marker ``perf_smoke``) -> ``BENCH_serving.json``.
+
+Serves the same synthetic fleet trace through one micro-batched
+:class:`~repro.streaming.fleet.FleetPredictor` and through N independent
+:class:`~repro.streaming.online.OnlinePredictor` loops at each fleet
+size, and records records/sec for both sides. Correctness rides along:
+at N=1 every record the fleet emits must be bit-identical to the scalar
+predictor's, and at the largest fleet the micro-batched path must hold
+at least ``MIN_SPEEDUP_AT_SCALE``x the scalar throughput — the headline
+number of the fleet-serving design.
+
+The speedup comes from vectorization (one gate pass, one model forward,
+one buffer append per tick), not from parallelism, so the assertion is
+core-count independent.
+
+    python -m pytest benchmarks/test_fleet_serving.py -q
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fleet import run_fleet
+
+#: the fleet must beat N scalar predictors by at least this factor at scale
+MIN_SPEEDUP_AT_SCALE = 5.0
+#: fleet sizes measured (the last one carries the speedup assertion)
+N_LIST = (1, 64, 1024)
+
+
+@pytest.mark.perf_smoke
+def test_perf_smoke_fleet_serving(profile):
+    """N=1 bit-parity with the scalar loop; >=5x records/sec at N=1024."""
+    res = run_fleet(profile, n_list=N_LIST)
+
+    snapshot = {
+        "model": res.model,
+        "ticks": res.ticks,
+        "cpu_count": os.cpu_count(),
+        "parity_n1": res.parity_n1,
+        "min_speedup_at_scale": MIN_SPEEDUP_AT_SCALE,
+        "scales": {
+            f"n{r.n_streams:04d}": {
+                "fleet_records_per_sec": round(r.fleet_records_per_sec, 1),
+                "scalar_records_per_sec": round(r.scalar_records_per_sec, 1),
+                "speedup_x": round(r.speedup, 2),
+                "fleet_wall_seconds": round(r.fleet_seconds, 4),
+                "scalar_wall_seconds": round(r.scalar_seconds, 4),
+            }
+            for r in res.per_scale
+        },
+    }
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    data = {"schema": "bench-serving/v1", "entries": {}}
+    if path.exists():
+        data = json.loads(path.read_text())
+    label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
+    data["entries"][label] = snapshot
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+    assert res.parity_n1, "fleet N=1 records diverged from OnlinePredictor"
+    at_scale = res.result_at(max(N_LIST))
+    assert at_scale.speedup >= MIN_SPEEDUP_AT_SCALE, (
+        f"fleet served {at_scale.fleet_records_per_sec:,.0f} rec/s vs scalar "
+        f"{at_scale.scalar_records_per_sec:,.0f} rec/s at N={at_scale.n_streams} "
+        f"— only x{at_scale.speedup:.1f}, need x{MIN_SPEEDUP_AT_SCALE:.0f}"
+    )

@@ -16,6 +16,7 @@ from .characterization import (
 from .config import ExperimentProfile, PROFILES, get_profile
 from .convergence import run_fig9, run_fig10
 from .curves import Fig8Result, run_fig8
+from .fleet import FleetResult, FleetScaleResult, make_fleet_streams, run_fleet
 from .generalization import (
     GeneralizationResult,
     generalization_tasks,
@@ -58,6 +59,10 @@ __all__ = [
     "run_resilience",
     "ResilienceResult",
     "ResilienceLevelResult",
+    "run_fleet",
+    "make_fleet_streams",
+    "FleetResult",
+    "FleetScaleResult",
     "run_generalization",
     "run_generalization_target",
     "generalization_tasks",

@@ -48,6 +48,7 @@ from .characterization import run_fig1, run_fig2, run_fig3, run_fig7
 from .config import PROFILES
 from .convergence import run_fig9, run_fig10
 from .curves import run_fig8
+from .fleet import run_fleet
 from .generalization import run_generalization
 from .horizon import run_horizon_sweep
 from .parallel import TaskSpec, run_tasks
@@ -59,7 +60,7 @@ __all__ = ["main", "ExperimentError", "RunContext"]
 #: paper artifacts (always in --experiment all)
 EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10")
 #: extension harnesses (run individually, or via --experiment extensions)
-EXTENSIONS = ("horizon", "robustness", "generalization", "resilience")
+EXTENSIONS = ("horizon", "robustness", "generalization", "resilience", "fleet")
 
 
 class ExperimentError(RuntimeError):
@@ -224,6 +225,31 @@ def _print_resilience(profile: str, ctx: RunContext) -> None:
     print(f"bounded within 8x of clean baseline: {res.is_bounded(8.0)}")
 
 
+def _print_fleet(profile: str, ctx: RunContext) -> None:
+    res = run_fleet(profile)
+    rows = [
+        [
+            r.n_streams,
+            f"{r.fleet_records_per_sec:,.0f}",
+            f"{r.scalar_records_per_sec:,.0f}",
+            f"x{r.speedup:.1f}",
+            f"{r.fleet_mae * 100:.3f}",
+            f"{r.scalar_mae * 100:.3f}",
+            r.fleet_refits,
+            r.scalar_refits,
+        ]
+        for r in res.per_scale
+    ]
+    print(format_table(
+        ["N streams", "fleet rec/s", "scalar rec/s", "speedup",
+         "fleet MAE(e-2)", "scalar MAE(e-2)", "fleet refits", "scalar refits"],
+        rows,
+        title=f"Micro-batched fleet serving vs per-stream scalar loop "
+        f"({res.model}, {res.ticks} ticks)",
+    ))
+    print(f"N=1 records bit-identical to OnlinePredictor: {res.parity_n1}")
+
+
 _RUNNERS = {
     "fig1": _print_fig1,
     "fig2": _print_fig2,
@@ -237,6 +263,7 @@ _RUNNERS = {
     "robustness": _print_robustness,
     "generalization": _print_generalization,
     "resilience": _print_resilience,
+    "fleet": _print_fleet,
 }
 
 

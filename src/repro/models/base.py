@@ -58,7 +58,20 @@ class Forecaster(abc.ABC):
 
     @abc.abstractmethod
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Return ``(N, horizon)`` predictions."""
+        """Return ``(N, horizon)`` predictions.
+
+        **Batch contract:** rows are independent — predicting a stacked
+        ``(N, window, features)`` batch must equal predicting each row
+        separately and concatenating the results. Classical forecasters
+        are bit-for-bit; GEMM-backed neural forwards may differ by
+        floating-point reduction order only (a few ulps), never by any
+        genuine cross-row coupling (no batch statistics, no sampling
+        shared across rows). Serving relies on this: the fleet predictor
+        stacks the due windows of many streams into one batch and makes
+        a single ``predict`` call, and
+        ``tests/models/test_batch_parity.py`` asserts the equivalence
+        for every registered forecaster.
+        """
 
     # -- shared validation helpers -------------------------------------------
 

@@ -97,9 +97,19 @@ class HoltForecaster(Forecaster):
         self._check_fitted()
         self._check_xy(x)
         x = np.asarray(x, float)
-        out = np.empty((len(x), self.horizon))
+        series = x[:, :, self.target_col]  # (N, window)
+        if series.shape[1] < 2:
+            raise ValueError("need at least two points for a trend")
+        # the recursion is sequential in time but elementwise across the
+        # batch, so one pass over the window serves all N rows at once —
+        # bit-identical to smoothing each row with holt_linear (the
+        # fleet's micro-batched forward depends on that equivalence)
+        a, b = self.alpha_, self.beta_
+        level = series[:, 0].copy()
+        trend = series[:, 1] - series[:, 0]
+        for t in range(1, series.shape[1]):
+            new_level = a * series[:, t] + (1 - a) * (level + trend)
+            trend = b * (new_level - level) + (1 - b) * trend
+            level = new_level
         steps = np.arange(1, self.horizon + 1)
-        for i in range(len(x)):
-            levels, trends = holt_linear(x[i, :, self.target_col], self.alpha_, self.beta_)
-            out[i] = levels[-1] + steps * trends[-1]
-        return out
+        return level[:, None] + steps[None, :] * trend[:, None]

@@ -15,12 +15,15 @@ full serving state checkpoints to a crash-safe artifact. The
 to exercise all of it.
 """
 
-from .buffer import RollingBuffer
+from .buffer import MatrixRingBuffer, RollingBuffer
 from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
 from .drift import DriftDetector, PageHinkley
 from .faults import FaultConfig, FaultInjector, InjectedFault
+from .fleet import FleetPredictor, FleetTick
 from .online import OnlinePredictor, PredictionRecord
 from .resilience import (
+    FleetGate,
+    FleetGateResult,
     GatePolicy,
     GateResult,
     HealthStatus,
@@ -31,6 +34,11 @@ from .resilience import (
 
 __all__ = [
     "RollingBuffer",
+    "MatrixRingBuffer",
+    "FleetPredictor",
+    "FleetTick",
+    "FleetGate",
+    "FleetGateResult",
     "PageHinkley",
     "DriftDetector",
     "OnlinePredictor",

@@ -74,6 +74,7 @@ class _OnlineStats:
     n_refit_failures: int = 0
     n_predict_failures: int = 0
     n_fallback_predictions: int = 0
+    n_fallback_predict_failures: int = 0
     n_clamped_predictions: int = 0
     #: recent per-step errors; bounded by default (see ``error_history``)
     errors: deque[float] = field(default_factory=lambda: deque(maxlen=512))
@@ -96,6 +97,7 @@ class _OnlineStats:
             "n_refit_failures": self.n_refit_failures,
             "n_predict_failures": self.n_predict_failures,
             "n_fallback_predictions": self.n_fallback_predictions,
+            "n_fallback_predict_failures": self.n_fallback_predict_failures,
             "n_clamped_predictions": self.n_clamped_predictions,
             "errors": list(self.errors),
             "errors_maxlen": self.errors.maxlen,
@@ -110,6 +112,8 @@ class _OnlineStats:
         self.n_refit_failures = int(state["n_refit_failures"])
         self.n_predict_failures = int(state["n_predict_failures"])
         self.n_fallback_predictions = int(state["n_fallback_predictions"])
+        # key absent in pre-fleet checkpoints; the count started at 0 there
+        self.n_fallback_predict_failures = int(state.get("n_fallback_predict_failures", 0))
         self.n_clamped_predictions = int(state["n_clamped_predictions"])
         self.errors = deque(state["errors"], maxlen=state["errors_maxlen"])
 
@@ -243,6 +247,7 @@ class OnlinePredictor:
                 ("refit_failures", "terminally failed refits"),
                 ("drift_events", "drift detector firings"),
                 ("fallback_predictions", "predictions served by the fallback"),
+                ("fallback_predict_failures", "fallback forwards that also failed"),
                 ("clamped_predictions", "predictions clamped into the plausibility band"),
             )
         }
@@ -351,8 +356,8 @@ class OnlinePredictor:
                 try:
                     value = float(self.fallback_model.predict(self._hist)[0, 0])
                     return self._sanitize_prediction(value), True
-                except Exception:  # noqa: BLE001
-                    pass
+                except Exception:  # noqa: BLE001 — the step is lost, but counted
+                    self.stats.n_fallback_predict_failures += 1
         return None, False
 
     def _sanitize_prediction(self, value: float) -> float | None:
@@ -390,6 +395,7 @@ class OnlinePredictor:
         b_refit_failures = st.n_refit_failures
         b_drifts = st.n_drifts
         b_fallback = st.n_fallback_predictions
+        b_fb_fail = st.n_fallback_predict_failures
         b_clamped = st.n_clamped_predictions
         t0 = time.perf_counter()
         self._span_tick += 1
@@ -415,6 +421,10 @@ class OnlinePredictor:
             counters["drift_events"].inc(st.n_drifts - b_drifts)
         if st.n_fallback_predictions != b_fallback:
             counters["fallback_predictions"].inc(st.n_fallback_predictions - b_fallback)
+        if st.n_fallback_predict_failures != b_fb_fail:
+            counters["fallback_predict_failures"].inc(
+                st.n_fallback_predict_failures - b_fb_fail
+            )
         if st.n_clamped_predictions != b_clamped:
             counters["clamped_predictions"].inc(st.n_clamped_predictions - b_clamped)
         return result

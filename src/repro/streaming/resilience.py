@@ -38,6 +38,8 @@ __all__ = [
     "GatePolicy",
     "GateResult",
     "InputGate",
+    "FleetGate",
+    "FleetGateResult",
     "SupervisorPolicy",
     "Supervisor",
 ]
@@ -317,6 +319,290 @@ class InputGate:
         self._count = int(state["count"])
         self._mean = np.asarray(state["mean"], float).copy()
         self._m2 = np.asarray(state["m2"], float).copy()
+
+
+# ---------------------------------------------------------------------------
+# fleet (vectorized) input gate
+# ---------------------------------------------------------------------------
+
+#: integer encodings used by :class:`FleetGateResult` (hot-path friendly)
+GATE_ACCEPT, GATE_IMPUTE, GATE_QUARANTINE = 0, 1, 2
+#: reason codes -> the reason strings :class:`InputGate` uses
+GATE_REASONS = (None, "missing", "outlier", "empty", "no_history")
+_R_NONE, _R_MISSING, _R_OUTLIER, _R_EMPTY, _R_NO_HISTORY = range(5)
+
+
+@dataclass(frozen=True)
+class FleetGateResult:
+    """Columnar outcome of gating one ``(streams, features)`` tick.
+
+    ``actions`` holds :data:`GATE_ACCEPT` / :data:`GATE_IMPUTE` /
+    :data:`GATE_QUARANTINE` per stream, ``reasons`` indexes into
+    :data:`GATE_REASONS`, and ``records`` is the repaired tick matrix
+    (rows of quarantined streams keep their raw values — callers must
+    not absorb them).
+    """
+
+    actions: np.ndarray  # (N,) int8
+    records: np.ndarray  # (N, F) float
+    reasons: np.ndarray  # (N,) int8
+
+    @property
+    def accepted(self) -> np.ndarray:
+        return self.actions != GATE_QUARANTINE
+
+
+class FleetGate:
+    """Vectorized :class:`InputGate` over N parallel streams.
+
+    Runs the NaN / empty-record / imputation / Welford-band checks on a
+    whole ``(streams, features)`` tick at once while keeping *per-stream*
+    running moments, verdict counters and reason tallies — each stream's
+    decisions and statistics are bit-identical to what a dedicated
+    :class:`InputGate` fed the same records would produce. The one
+    intentional difference: a tick is a uniformly shaped float matrix,
+    so the scalar gate's ``"unparseable"`` / ``"arity"`` defects cannot
+    occur here (a stream with no data this tick is an all-NaN row, which
+    quarantines as ``"empty"``); malformed per-stream payloads must be
+    mapped to NaN rows by whatever assembles the tick.
+    """
+
+    def __init__(
+        self,
+        streams: int,
+        features: int,
+        policy: GatePolicy | None = None,
+        registry: MetricRegistry | None = None,
+    ) -> None:
+        if streams < 1 or features < 1:
+            raise ValueError(f"streams and features must be >= 1, got {streams}, {features}")
+        self.streams = streams
+        self.features = features
+        self.policy = policy or GatePolicy()
+        self._registry = get_registry(registry)
+        self._c_seen = MetricCounter(
+            "serving_gate_seen_total", "records offered to the input gate"
+        )
+        self._c_actions = {
+            action: MetricCounter(
+                "serving_gate_records_total",
+                "gate verdicts by action",
+                {"action": action},
+            )
+            for action in ("accept", "impute", "quarantine")
+        }
+        self._c_reasons: dict[str, MetricCounter] = {}
+        for inst in (self._c_seen, *self._c_actions.values()):
+            self._registry.register(inst)
+        # per-stream verdict counters (checkpointed serving state)
+        self._n_seen = np.zeros(streams, dtype=np.int64)
+        self._n_accepted = np.zeros(streams, dtype=np.int64)
+        self._n_imputed = np.zeros(streams, dtype=np.int64)
+        self._n_quarantined = np.zeros(streams, dtype=np.int64)
+        self._reason_counts = np.zeros((len(GATE_REASONS), streams), dtype=np.int64)
+        # per-stream running moments over accepted data (Welford)
+        self._last = np.full((streams, features), np.nan)
+        self._count = np.zeros(streams, dtype=np.int64)
+        self._mean = np.zeros((streams, features))
+        self._m2 = np.zeros((streams, features))
+
+    # -- counter views ----------------------------------------------------------
+
+    @property
+    def n_seen(self) -> np.ndarray:
+        return self._n_seen.copy()
+
+    @property
+    def n_accepted(self) -> np.ndarray:
+        return self._n_accepted.copy()
+
+    @property
+    def n_imputed(self) -> np.ndarray:
+        return self._n_imputed.copy()
+
+    @property
+    def n_quarantined(self) -> np.ndarray:
+        return self._n_quarantined.copy()
+
+    def reasons(self, stream: int | None = None) -> Counter[str]:
+        """Defect counts for one stream (or the whole fleet)."""
+        counts = (
+            self._reason_counts.sum(axis=1)
+            if stream is None
+            else self._reason_counts[:, stream]
+        )
+        return Counter(
+            {
+                name: int(c)
+                for name, c in zip(GATE_REASONS, counts)
+                if name is not None and c
+            }
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _obs_reason(self, reason: str, amount: int) -> None:
+        counter = self._c_reasons.get(reason)
+        if counter is None:
+            counter = MetricCounter(
+                "serving_gate_reasons_total", "gate defect classes", {"reason": reason}
+            )
+            self._registry.register(counter)
+            self._c_reasons[reason] = counter
+        counter.inc(amount)
+
+    def _absorb_rows(self, rows: np.ndarray, values: np.ndarray) -> None:
+        """Welford update for ``rows`` (bool mask) with per-stream ``values``."""
+        idx = np.flatnonzero(rows)
+        if idx.size == 0:
+            return
+        vals = values[idx]
+        self._last[idx] = vals
+        self._count[idx] += 1
+        delta = vals - self._mean[idx]
+        new_mean = self._mean[idx] + delta / self._count[idx][:, None]
+        self._mean[idx] = new_mean
+        self._m2[idx] += delta * (vals - new_mean)
+
+    def _running_std(self) -> np.ndarray:
+        std = np.zeros((self.streams, self.features))
+        ok = self._count >= 2
+        if ok.any():
+            std[ok] = np.sqrt(self._m2[ok] / (self._count[ok, None] - 1))
+        return std
+
+    def band(self, sigma: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-stream ``(lo, hi, armed)`` plausibility bands.
+
+        ``lo``/``hi`` are ``(streams, features)``; rows where ``armed``
+        is False have not seen ``min_history`` accepted records yet and
+        must not be used (the scalar gate returns ``None`` there).
+        """
+        armed = self._count >= self.policy.min_history
+        std = self._running_std()
+        return self._mean - sigma * std, self._mean + sigma * std, armed
+
+    # -- API -------------------------------------------------------------------
+
+    def check_tick(self, tick: np.ndarray) -> FleetGateResult:
+        """Gate one ``(streams, features)`` tick; all streams at once."""
+        arr = np.asarray(tick, float)
+        if arr.shape != (self.streams, self.features):
+            raise ValueError(
+                f"expected tick of shape ({self.streams}, {self.features}), got {arr.shape}"
+            )
+        n = self.streams
+        self._n_seen += 1
+        self._c_seen.inc(n)
+
+        actions = np.zeros(n, dtype=np.int8)
+        reasons = np.zeros(n, dtype=np.int8)
+        repaired = arr.copy()
+        finite = np.isfinite(arr)
+        row_finite = finite.all(axis=1)
+
+        empty = ~finite.any(axis=1)
+        quarantined = empty.copy()
+        reasons[empty] = _R_EMPTY
+
+        missing_rows = ~row_finite & ~empty
+        if missing_rows.any():
+            if self.policy.impute == "drop":
+                quarantined |= missing_rows
+                reasons[missing_rows] = _R_MISSING
+            else:
+                if self.policy.impute == "last":
+                    fill = self._last
+                    usable = np.isfinite(self._last)
+                else:
+                    fill = self._mean
+                    usable = np.broadcast_to((self._count > 0)[:, None], finite.shape)
+                # a missing cell with no history to impute from
+                no_hist = missing_rows & ~np.where(finite, True, usable).all(axis=1)
+                quarantined |= no_hist
+                reasons[no_hist] = _R_NO_HISTORY
+                fixable = missing_rows & ~no_hist
+                cells = ~finite & fixable[:, None]
+                repaired[cells] = fill[cells]
+                reasons[fixable] = _R_MISSING
+
+        if self.policy.outlier_sigma is not None:
+            armed = ~quarantined & (self._count >= self.policy.min_history)
+            if armed.any():
+                std = self._running_std()
+                band = self.policy.outlier_sigma * std
+                wild = armed[:, None] & (std > 0) & (np.abs(repaired - self._mean) > band)
+                wild_rows = wild.any(axis=1)
+                if wild_rows.any():
+                    clamped = np.where(
+                        wild,
+                        self._mean + np.sign(repaired - self._mean) * band,
+                        repaired,
+                    )
+                    if self.policy.outlier_action == "quarantine":
+                        # drop the record, but feed the *clamped* value to the
+                        # running moments (bounded influence — see InputGate)
+                        self._absorb_rows(wild_rows, clamped)
+                        quarantined |= wild_rows
+                        reasons[wild_rows] = _R_OUTLIER
+                    else:
+                        repaired = np.where(wild_rows[:, None], clamped, repaired)
+                        reasons[wild_rows & (reasons == _R_NONE)] = _R_OUTLIER
+
+        accepted = ~quarantined
+        self._absorb_rows(accepted, repaired)
+        imputed = accepted & (reasons != _R_NONE)
+        clean = accepted & (reasons == _R_NONE)
+        actions[imputed] = GATE_IMPUTE
+        actions[quarantined] = GATE_QUARANTINE
+
+        self._n_accepted += clean
+        self._n_imputed += imputed
+        self._n_quarantined += quarantined
+        counted = np.flatnonzero(reasons != _R_NONE)
+        if counted.size:
+            np.add.at(self._reason_counts, (reasons[counted], counted), 1)
+        n_clean, n_imp, n_quar = int(clean.sum()), int(imputed.sum()), int(quarantined.sum())
+        if n_clean:
+            self._c_actions["accept"].inc(n_clean)
+        if n_imp:
+            self._c_actions["impute"].inc(n_imp)
+        if n_quar:
+            self._c_actions["quarantine"].inc(n_quar)
+        if n_imp or n_quar:
+            for code, name in enumerate(GATE_REASONS):
+                if name is None:
+                    continue
+                amount = int((reasons == code).sum())
+                if amount:
+                    self._obs_reason(name, amount)
+        return FleetGateResult(actions=actions, records=repaired, reasons=reasons)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "n_seen": self._n_seen.copy(),
+            "n_accepted": self._n_accepted.copy(),
+            "n_imputed": self._n_imputed.copy(),
+            "n_quarantined": self._n_quarantined.copy(),
+            "reason_counts": self._reason_counts.copy(),
+            "last": self._last.copy(),
+            "count": self._count.copy(),
+            "mean": self._mean.copy(),
+            "m2": self._m2.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._n_seen[...] = state["n_seen"]
+        self._n_accepted[...] = state["n_accepted"]
+        self._n_imputed[...] = state["n_imputed"]
+        self._n_quarantined[...] = state["n_quarantined"]
+        self._reason_counts[...] = state["reason_counts"]
+        self._last[...] = state["last"]
+        self._count[...] = state["count"]
+        self._mean[...] = state["mean"]
+        self._m2[...] = state["m2"]
 
 
 # ---------------------------------------------------------------------------
