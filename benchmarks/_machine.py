@@ -1,0 +1,31 @@
+"""Machine identity for benchmark snapshots.
+
+``os.cpu_count()`` reports the host's processors, which in a container
+or a cgroup-pinned CI runner can differ from the cores the process may
+actually use (``sched_getaffinity``). Benchmarks record both so
+``check_regression.py`` can tell "this code got slower" apart from
+"this ran on a smaller machine" and skip wall-clock comparison across
+differing core counts.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["machine_info", "usable_cores"]
+
+
+def usable_cores() -> int:
+    """Cores this process can actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def machine_info() -> dict[str, int]:
+    """The identity block every BENCH entry embeds."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": usable_cores(),
+    }

@@ -80,12 +80,32 @@ def pick_baseline_entry(baseline: dict, label: str) -> tuple[str, dict] | None:
     return last_label, entries[last_label]
 
 
+def entry_cores(nums: dict[str, float]) -> int | None:
+    """The affinity-visible core count recorded in an entry, if any.
+
+    Prefers ``cpu_affinity`` (what the process could actually use) over
+    ``cpu_count`` (the host's processors); matches the key at any depth.
+    """
+    for key in ("cpu_affinity", "cpu_count"):
+        hits = [v for p, v in nums.items() if p == key or p.endswith(f".{key}")]
+        if hits:
+            return int(hits[0])
+    return None
+
+
 def compare(fresh: dict, base: dict, threshold: float) -> tuple[list[str], list[str]]:
     """Return (regressions, report_lines) for one pair of entries."""
     fresh_nums = numeric_leaves(fresh)
     base_nums = numeric_leaves(base)
     regressions: list[str] = []
     lines: list[str] = []
+    fresh_cores, base_cores = entry_cores(fresh_nums), entry_cores(base_nums)
+    if fresh_cores is not None and base_cores is not None and fresh_cores != base_cores:
+        lines.append(
+            f"  skipped    wall-clock comparison: fresh ran on {fresh_cores} "
+            f"core(s), baseline on {base_cores} — not comparable"
+        )
+        return regressions, lines
     for path in sorted(fresh_nums):
         if path not in base_nums:
             continue

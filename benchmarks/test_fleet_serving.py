@@ -24,10 +24,13 @@ import pytest
 
 from repro.experiments.fleet import run_fleet
 
+from ._machine import machine_info
+
 #: the fleet must beat N scalar predictors by at least this factor at scale
 MIN_SPEEDUP_AT_SCALE = 5.0
-#: fleet sizes measured (the last one carries the speedup assertion)
-N_LIST = (1, 64, 1024)
+#: fleet sizes measured (the last one carries the speedup assertion); the
+#: small sizes exist to locate the fleet-vs-scalar crossover N
+N_LIST = (1, 2, 4, 8, 64, 1024)
 
 
 @pytest.mark.perf_smoke
@@ -38,8 +41,9 @@ def test_perf_smoke_fleet_serving(profile):
     snapshot = {
         "model": res.model,
         "ticks": res.ticks,
-        "cpu_count": os.cpu_count(),
+        **machine_info(),
         "parity_n1": res.parity_n1,
+        "crossover_n": res.crossover_n,
         "min_speedup_at_scale": MIN_SPEEDUP_AT_SCALE,
         "scales": {
             f"n{r.n_streams:04d}": {
@@ -58,7 +62,9 @@ def test_perf_smoke_fleet_serving(profile):
     if path.exists():
         data = json.loads(path.read_text())
     label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
-    data["entries"][label] = snapshot
+    # merge, don't replace: test_shard_serving adds its scaling block to
+    # the same entry and the two tests run in either order
+    data["entries"].setdefault(label, {}).update(snapshot)
     path.write_text(json.dumps(data, indent=2) + "\n")
 
     assert res.parity_n1, "fleet N=1 records diverged from OnlinePredictor"

@@ -8,9 +8,11 @@ cold time (cache lookups replace training entirely).
 
 Wall time (not CPU time) is the right metric here: the pool's whole
 point is wall-clock, and the cache's whole point is skipping work. The
-pooled-speedup assertion only applies on multi-core machines — spawn
-startup dominates on a single core — but the warm-cache speedup is
-core-count independent and always asserted.
+pool is warmed (workers spawned, imports paid) before the timed region,
+so the gate measures steady-state dispatch: on >=2 usable cores the
+persistent 2-way pool must beat serial outright. On a single core the
+gate is skipped — two workers time-slicing one core cannot win — but
+the warm-cache speedup is core-count independent and always asserted.
 
     python -m pytest benchmarks/test_parallel_runner.py -q
 """
@@ -22,15 +24,17 @@ from pathlib import Path
 
 import pytest
 
+from ._machine import machine_info, usable_cores
 from repro.experiments.accuracy import run_table2
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentProfile
+from repro.experiments.parallel import warm_pool
 from repro.obs.registry import MetricRegistry
 
 #: warm-cache rerun must land under this fraction of the cold run
 MAX_WARM_FRACTION = 0.5
-#: with >=2 cores, the 2-way pool must not be slower than this x serial
-MAX_POOL_SLOWDOWN = 1.35
+#: with >=2 usable cores, the warmed persistent pool must beat serial
+MAX_POOL_SLOWDOWN = 1.0
 
 #: small grid: 4 models x 2 levels under Mul-Exp = 8 independent cells
 BENCH_PROFILE = ExperimentProfile(
@@ -57,6 +61,7 @@ def test_perf_smoke_parallel_and_cache(tmp_path):
     serial, t_serial = _timed(
         lambda: run_table2(BENCH_PROFILE, scenarios=SCENARIOS, jobs=1)
     )
+    warm_pool(2)  # pay spawn + import before the timed region
     pooled, t_pooled = _timed(
         lambda: run_table2(BENCH_PROFILE, scenarios=SCENARIOS, jobs=2)
     )
@@ -78,7 +83,7 @@ def test_perf_smoke_parallel_and_cache(tmp_path):
     snapshot = {
         "grid": f"{n_cells} cells: {SCENARIOS[0]} x 2 levels, "
         f"n_steps={BENCH_PROFILE.n_steps}, epochs={BENCH_PROFILE.epochs}",
-        "cpu_count": os.cpu_count(),
+        **machine_info(),
         "wall_seconds": {
             "serial": round(t_serial, 3),
             "jobs2": round(t_pooled, 3),
@@ -101,8 +106,8 @@ def test_perf_smoke_parallel_and_cache(tmp_path):
         f"warm cache rerun {t_warm:.2f}s not under "
         f"{MAX_WARM_FRACTION:.0%} of cold {t_cold:.2f}s"
     )
-    if (os.cpu_count() or 1) >= 2:
+    if usable_cores() >= 2:
         assert t_pooled <= MAX_POOL_SLOWDOWN * t_serial, (
-            f"2-way pool took {t_pooled:.2f}s vs serial {t_serial:.2f}s "
-            f"(> {MAX_POOL_SLOWDOWN}x) on a {os.cpu_count()}-core machine"
+            f"warmed 2-way pool took {t_pooled:.2f}s vs serial {t_serial:.2f}s "
+            f"(> {MAX_POOL_SLOWDOWN}x) on a {usable_cores()}-core machine"
         )

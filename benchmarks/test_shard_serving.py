@@ -1,0 +1,90 @@
+"""Sharded fleet scaling snapshot (marker ``perf_smoke``) -> ``BENCH_serving.json``.
+
+Serves one large synthetic fleet through the single-process
+:class:`~repro.streaming.fleet.FleetPredictor` and through
+:class:`~repro.streaming.shard.ShardedFleetPredictor` at increasing
+shard counts, recording records/sec per shard count into the same
+BENCH_serving.json entry the fleet bench writes (``shard_scaling``
+block). Correctness rides along unconditionally: shards=1 must be
+bit-identical to the single-process fleet on every emitted tick, and no
+worker may fail during the run.
+
+The scaling gate is machine-dependent: on >= ``MIN_CORES_FOR_SCALING``
+usable cores, shards=4 must reach ``MIN_SPEEDUP_AT_4`` x the
+single-process records/sec at ``N_STREAMS``. On smaller machines (CI
+single-core runners included) the workers time-slice the same core, so
+the gate downgrades to parity-only and the recorded numbers are
+informational — ``check_regression.py`` skips wall-clock comparison
+across differing core counts for the same reason.
+
+    python -m pytest benchmarks/test_shard_serving.py -q
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fleet import run_shard_scaling
+
+from ._machine import machine_info, usable_cores
+
+#: fleet size the scaling claim is made at (ISSUE 6 acceptance: N >= 4096)
+N_STREAMS = 4096
+#: cores needed before multi-process scaling is physically possible
+MIN_CORES_FOR_SCALING = 4
+#: with >= MIN_CORES_FOR_SCALING usable cores, shards=4 must reach this
+MIN_SPEEDUP_AT_4 = 2.0
+
+
+def _shards_list() -> tuple[int, ...]:
+    return (1, 2, 4) if usable_cores() >= MIN_CORES_FOR_SCALING else (1, 2)
+
+
+@pytest.mark.perf_smoke
+def test_perf_smoke_shard_scaling(profile):
+    """shards=1 bit-parity always; shards=4 >= 2x single-process on >=4 cores."""
+    shards_list = _shards_list()
+    res = run_shard_scaling(profile, n_streams=N_STREAMS, shards_list=shards_list)
+
+    scaling = {
+        "n_streams": res.n_streams,
+        "ticks": res.ticks,
+        "parity_shard1": res.parity_shard1,
+        "single_records_per_sec": round(res.single_records_per_sec, 1),
+        "single_wall_seconds": round(res.single_seconds, 4),
+        "per_shards": {
+            f"shards{r.shards}": {
+                "records_per_sec": round(r.records_per_sec, 1),
+                "speedup_vs_single_x": round(r.speedup_vs_single, 2),
+                "wall_seconds": round(r.seconds, 4),
+                "worker_failures": r.worker_failures,
+            }
+            for r in res.per_shards
+        },
+    }
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    data = {"schema": "bench-serving/v1", "entries": {}}
+    if path.exists():
+        data = json.loads(path.read_text())
+    label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
+    entry = data["entries"].setdefault(label, {})
+    entry.update(machine_info())
+    entry["shard_scaling"] = scaling
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+    assert res.parity_shard1, "shards=1 ticks diverged from single-process fleet"
+    assert all(r.worker_failures == 0 for r in res.per_shards), (
+        f"shard workers failed during the bench: "
+        f"{[(r.shards, r.worker_failures) for r in res.per_shards]}"
+    )
+    if usable_cores() >= MIN_CORES_FOR_SCALING:
+        at4 = res.result_at(4)
+        assert at4.speedup_vs_single >= MIN_SPEEDUP_AT_4, (
+            f"shards=4 served {at4.records_per_sec:,.0f} rec/s vs single-process "
+            f"{res.single_records_per_sec:,.0f} rec/s at N={N_STREAMS} — only "
+            f"x{at4.speedup_vs_single:.2f}, need x{MIN_SPEEDUP_AT_4:.1f} "
+            f"on a {usable_cores()}-core machine"
+        )

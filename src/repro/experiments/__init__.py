@@ -16,7 +16,15 @@ from .characterization import (
 from .config import ExperimentProfile, PROFILES, get_profile
 from .convergence import run_fig9, run_fig10
 from .curves import Fig8Result, run_fig8
-from .fleet import FleetResult, FleetScaleResult, make_fleet_streams, run_fleet
+from .fleet import (
+    FleetResult,
+    FleetScaleResult,
+    ShardScaleResult,
+    ShardScalingResult,
+    make_fleet_streams,
+    run_fleet,
+    run_shard_scaling,
+)
 from .generalization import (
     GeneralizationResult,
     generalization_tasks,
@@ -24,7 +32,14 @@ from .generalization import (
     run_generalization_target,
 )
 from .horizon import HorizonResult, run_horizon_sweep
-from .parallel import TaskResult, TaskSpec, derive_seed, run_tasks
+from .parallel import (
+    TaskResult,
+    TaskSpec,
+    derive_seed,
+    run_tasks,
+    shutdown_pools,
+    warm_pool,
+)
 from .persistence import load_result, save_result, to_jsonable
 from .resilience import ResilienceLevelResult, ResilienceResult, run_resilience
 from .robustness import (
@@ -63,6 +78,9 @@ __all__ = [
     "make_fleet_streams",
     "FleetResult",
     "FleetScaleResult",
+    "run_shard_scaling",
+    "ShardScaleResult",
+    "ShardScalingResult",
     "run_generalization",
     "run_generalization_target",
     "generalization_tasks",
@@ -74,6 +92,8 @@ __all__ = [
     "TaskResult",
     "derive_seed",
     "run_tasks",
+    "warm_pool",
+    "shutdown_pools",
     "ResultCache",
     "code_fingerprint",
     "DEFAULT_CACHE_DIR",

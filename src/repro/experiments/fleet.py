@@ -30,7 +30,15 @@ from ..streaming.fleet import FleetPredictor
 from ..streaming.online import OnlinePredictor
 from .config import ExperimentProfile, get_profile
 
-__all__ = ["FleetScaleResult", "FleetResult", "run_fleet", "make_fleet_streams"]
+__all__ = [
+    "FleetScaleResult",
+    "FleetResult",
+    "run_fleet",
+    "make_fleet_streams",
+    "ShardScaleResult",
+    "ShardScalingResult",
+    "run_shard_scaling",
+]
 
 
 @dataclass
@@ -72,6 +80,19 @@ class FleetResult:
 
     def speedup_at(self, n_streams: int) -> float:
         return self.result_at(n_streams).speedup
+
+    @property
+    def crossover_n(self) -> int | None:
+        """Smallest measured fleet size where the fleet beats N scalars.
+
+        Below this N the per-tick fixed cost of the vectorized path
+        outweighs the batching win and N independent scalar predictors
+        are faster; ``None`` if no measured size reached speedup >= 1.
+        """
+        for r in sorted(self.per_scale, key=lambda r: r.n_streams):
+            if r.speedup >= 1.0:
+                return r.n_streams
+        return None
 
 
 def make_fleet_streams(
@@ -190,6 +211,123 @@ def run_fleet(
                 fleet_refits=fleet.stats.n_refits,
                 scalar_refits=int(np.sum([p.stats.n_refits for p in predictors])),
                 n_quarantined=int(fleet.gate.n_quarantined.sum()),
+            )
+        )
+    return result
+
+
+@dataclass
+class ShardScaleResult:
+    """Throughput at one shard count for a fixed fleet size."""
+
+    shards: int
+    seconds: float
+    records_per_sec: float
+    speedup_vs_single: float  #: vs the single-process FleetPredictor
+    worker_failures: int
+
+
+@dataclass
+class ShardScalingResult:
+    """Records/sec vs shard count for one fleet (single process = 1.0x)."""
+
+    model: str
+    n_streams: int
+    ticks: int
+    single_seconds: float
+    single_records_per_sec: float
+    parity_shard1: bool  #: shards=1 output bit-identical to FleetPredictor
+    per_shards: list[ShardScaleResult] = field(default_factory=list)
+
+    def result_at(self, shards: int) -> ShardScaleResult:
+        for r in self.per_shards:
+            if r.shards == shards:
+                return r
+        raise KeyError(
+            f"no result at shards={shards}; have {[r.shards for r in self.per_shards]}"
+        )
+
+
+def _ticks_parity(a, b) -> bool:
+    """Bit-exact equality of two FleetTick sequences (NaN == NaN)."""
+    for x, y in zip(a, b):
+        if x.step != y.step or x.refit != y.refit:
+            return False
+        for fld in ("predictions", "actuals", "errors", "drift", "health", "gated"):
+            if not np.array_equal(getattr(x, fld), getattr(y, fld), equal_nan=True):
+                return False
+    return len(a) == len(b)
+
+
+def run_shard_scaling(
+    profile: str | ExperimentProfile = "quick",
+    model: str = "holt",
+    model_kwargs: dict | None = None,
+    n_streams: int = 4096,
+    shards_list: tuple[int, ...] = (1, 2, 4),
+    refit_interval: int = 64,
+    nan_rate: float = 0.01,
+    ticks: int | None = None,
+) -> ShardScalingResult:
+    """Serve one fleet trace single-process and at each shard count.
+
+    The single-process :class:`FleetPredictor` sets the 1.0x baseline;
+    ``shards=1`` additionally verifies bit-parity of every emitted tick
+    against it (the sharded path is the same computation moved behind a
+    process boundary, so any divergence is a bug, not noise).
+    """
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    if ticks is None:
+        ticks = int(max(48, min(96, prof.n_steps // 10)))
+    window = prof.window
+    common = dict(
+        forecaster_kwargs=dict(model_kwargs or {}),
+        window=window,
+        buffer_capacity=2 * refit_interval + window,
+        refit_interval=refit_interval,
+        min_fit_size=3 * window,
+    )
+    streams = make_fleet_streams(n_streams, ticks, prof.seed, nan_rate)
+    total = ticks * n_streams
+
+    single = FleetPredictor(n_streams, model, registry=MetricRegistry(), **common)
+    t0 = time.perf_counter()
+    single_out = single.run(streams)
+    single_seconds = time.perf_counter() - t0
+
+    result = ShardScalingResult(
+        model=model,
+        n_streams=n_streams,
+        ticks=ticks,
+        single_seconds=single_seconds,
+        single_records_per_sec=total / max(single_seconds, 1e-9),
+        parity_shard1=True,
+    )
+    # deferred: repro.streaming.shard <-> repro.experiments import cycle
+    from ..streaming.shard import ShardedFleetPredictor
+
+    for shards in shards_list:
+        if shards > n_streams:
+            continue
+        sharded = ShardedFleetPredictor(
+            n_streams, shards, forecaster_name=model, registry=MetricRegistry(), **common
+        )
+        try:
+            t0 = time.perf_counter()
+            sharded_out = sharded.run(streams)
+            seconds = time.perf_counter() - t0
+            failures = sharded.worker_failures
+            if shards == 1:
+                result.parity_shard1 = _ticks_parity(single_out, sharded_out)
+        finally:
+            sharded.close(collect_metrics=False)
+        result.per_shards.append(
+            ShardScaleResult(
+                shards=shards,
+                seconds=seconds,
+                records_per_sec=total / max(seconds, 1e-9),
+                speedup_vs_single=single_seconds / max(seconds, 1e-9),
+                worker_failures=failures,
             )
         )
     return result

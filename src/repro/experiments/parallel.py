@@ -25,12 +25,27 @@ already provided:
 Workers are spawned (not forked): each child starts from a clean
 interpreter, so no parent state (open instruments, BLAS thread pools,
 trace stacks) can leak into a task's execution.
+
+The pool is **persistent**: the first ``run_tasks(jobs=N)`` call spawns
+the workers, and every later call with the same ``jobs`` reuses them —
+spawn + interpreter + import cost is paid once per process lifetime, not
+once per sweep. Tasks are dispatched in **chunks** (several tasks per
+pickle round-trip) with per-task failure isolation preserved inside each
+chunk; obs isolation moves to chunk granularity (a fresh registry and
+tracer per chunk), which keeps the parent's merged view identical
+because every chunk's series are adopted exactly once. A broken pool
+(worker killed hard mid-chunk) fails only the chunks that were lost and
+is disposed so the next call starts clean. Use :func:`warm_pool` to pay
+the spawn/import cost ahead of a timed region, and
+:func:`shutdown_pools` (also registered ``atexit``) to reap workers.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import importlib
+import os
 import time
 import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -49,6 +64,8 @@ __all__ = [
     "derive_seed",
     "run_tasks",
     "revive_span",
+    "warm_pool",
+    "shutdown_pools",
 ]
 
 #: upper bound (exclusive) for derived seeds; fits every numpy seed API
@@ -148,6 +165,78 @@ def _execute_in_worker(item: tuple[str, dict[str, Any], str]) -> dict[str, Any]:
     return record
 
 
+def _execute_chunk_in_worker(
+    items: Sequence[tuple[str, dict[str, Any], str]],
+) -> dict[str, Any]:
+    """Run a chunk of tasks in one dispatch, one obs scope for the chunk.
+
+    Task failures stay isolated per item (an item that raises becomes an
+    error record; its successors in the chunk still run). The worker is
+    persistent, so obs state is reset at the start of every chunk — each
+    chunk's spans/series therefore describe exactly that chunk and the
+    parent can adopt them without double counting.
+    """
+    registry = obs_registry.MetricRegistry()
+    obs_registry.set_default_registry(registry)
+    tracer = obs_trace.default_tracer()
+    tracer.clear()
+    records = [_execute(fn_path, params, span_name) for fn_path, params, span_name in items]
+    return {
+        "records": records,
+        "spans": [s.to_dict() for s in tracer.finished],
+        "metrics": registry.snapshot()["series"],
+    }
+
+
+# -- persistent pool ---------------------------------------------------------------
+
+#: live executors keyed by worker count; reused across ``run_tasks`` calls
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=get_context("spawn"))
+        _POOLS[workers] = pool
+    return pool
+
+
+def _dispose_pool(workers: int) -> None:
+    """Drop a (possibly broken) pool so the next call starts a fresh one."""
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Reap every persistent worker (registered ``atexit``; idempotent)."""
+    for workers in list(_POOLS):
+        pool = _POOLS.pop(workers)
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def _warm_worker(_index: int = 0) -> int:
+    """No-op task whose unpickling imports the experiment package chain."""
+    return os.getpid()
+
+
+def warm_pool(jobs: int) -> list[int]:
+    """Spawn the ``jobs``-worker pool now and pay its import cost up front.
+
+    Returns the worker pids that answered. Call before a timed region so
+    benchmarks measure task execution, not interpreter start-up; a no-op
+    for ``jobs <= 1`` (inline execution has nothing to warm).
+    """
+    if jobs <= 1:
+        return []
+    pool = _get_pool(jobs)
+    return sorted({f.result() for f in [pool.submit(_warm_worker, i) for i in range(jobs)]})
+
+
 def revive_span(data: dict[str, Any], tracer: obs_trace.Tracer | None = None) -> Span:
     """Rebuild a worker's serialized span tree on this process's tracer.
 
@@ -189,13 +278,14 @@ def run_tasks(
     cache: Any | None = None,
     registry: MetricRegistry | None = None,
 ) -> list[TaskResult]:
-    """Execute tasks — inline for ``jobs <= 1``, else on a spawn pool.
+    """Execute tasks — inline for ``jobs <= 1``, else on the persistent pool.
 
     Results come back in task order. With a :class:`~.cache.ResultCache`,
     each cacheable task is looked up first (hits skip execution entirely)
     and successful misses are stored after execution. Worker failures
-    (including a worker that dies mid-task) are confined to their own
-    :class:`TaskResult`.
+    (including a worker that dies mid-task) are confined to the tasks
+    that were in flight on the lost worker's chunk; the broken pool is
+    disposed and the next call starts a fresh one.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -228,31 +318,41 @@ def run_tasks(
             results[i] = _to_result(spec, _execute(spec.fn, spec.params, f"task:{spec.name}"))
     elif pending:
         tracer = obs_trace.default_tracer()
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)), mp_context=get_context("spawn")
-        ) as pool:
-            futures = [
-                (i, pool.submit(
-                    _execute_in_worker,
-                    (tasks[i].fn, tasks[i].params, f"task:{tasks[i].name}"),
-                ))
-                for i in pending
-            ]
-            for i, future in futures:
-                spec = tasks[i]
-                try:
-                    record = future.result()
-                except Exception as exc:  # worker died (e.g. BrokenProcessPool)
-                    record = {
-                        "value": None,
-                        "error": f"{type(exc).__name__}: {exc}",
-                        "traceback": _traceback.format_exc(),
-                        "duration": 0.0,
-                    }
-                for span_data in record.get("spans") or ():
-                    revive_span(span_data, tracer)
-                reg.adopt_series(record.get("metrics") or ())
-                results[i] = _to_result(spec, record)
+        pool = _get_pool(jobs)
+        # chunks small enough to load-balance (≈4 per worker), large
+        # enough to amortize the per-dispatch pickle round-trip
+        chunk_size = max(1, -(-len(pending) // (jobs * 4)))
+        chunks = [pending[j : j + chunk_size] for j in range(0, len(pending), chunk_size)]
+        futures = [
+            (
+                chunk,
+                pool.submit(
+                    _execute_chunk_in_worker,
+                    [(tasks[i].fn, tasks[i].params, f"task:{tasks[i].name}") for i in chunk],
+                ),
+            )
+            for chunk in chunks
+        ]
+        pool_broken = False
+        for chunk, future in futures:
+            try:
+                payload = future.result()
+            except Exception as exc:  # worker died (e.g. BrokenProcessPool)
+                pool_broken = True
+                for i in chunk:
+                    results[i] = TaskResult(
+                        spec=tasks[i],
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=_traceback.format_exc(),
+                    )
+                continue
+            for span_data in payload.get("spans") or ():
+                revive_span(span_data, tracer)
+            reg.adopt_series(payload.get("metrics") or ())
+            for i, record in zip(chunk, payload["records"]):
+                results[i] = _to_result(tasks[i], record)
+        if pool_broken:
+            _dispose_pool(jobs)
 
     for i in pending:
         result = results[i]

@@ -48,7 +48,7 @@ from .characterization import run_fig1, run_fig2, run_fig3, run_fig7
 from .config import PROFILES
 from .convergence import run_fig9, run_fig10
 from .curves import run_fig8
-from .fleet import run_fleet
+from .fleet import run_fleet, run_shard_scaling
 from .generalization import run_generalization
 from .horizon import run_horizon_sweep
 from .parallel import TaskSpec, run_tasks
@@ -60,7 +60,7 @@ __all__ = ["main", "ExperimentError", "RunContext"]
 #: paper artifacts (always in --experiment all)
 EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10")
 #: extension harnesses (run individually, or via --experiment extensions)
-EXTENSIONS = ("horizon", "robustness", "generalization", "resilience", "fleet")
+EXTENSIONS = ("horizon", "robustness", "generalization", "resilience", "fleet", "shard")
 
 
 class ExperimentError(RuntimeError):
@@ -248,6 +248,30 @@ def _print_fleet(profile: str, ctx: RunContext) -> None:
         f"({res.model}, {res.ticks} ticks)",
     ))
     print(f"N=1 records bit-identical to OnlinePredictor: {res.parity_n1}")
+    crossover = res.crossover_n
+    print(f"fleet-vs-scalar crossover N: {crossover if crossover else 'not reached'}")
+
+
+def _print_shard(profile: str, ctx: RunContext) -> None:
+    res = run_shard_scaling(profile, n_streams=1024, shards_list=(1, 2, 4))
+    rows = [
+        [
+            r.shards,
+            f"{r.records_per_sec:,.0f}",
+            f"x{r.speedup_vs_single:.2f}",
+            f"{r.seconds:.3f}",
+            r.worker_failures,
+        ]
+        for r in res.per_shards
+    ]
+    print(format_table(
+        ["shards", "rec/s", "vs single-proc", "wall s", "worker failures"],
+        rows,
+        title=f"Sharded fleet serving, N={res.n_streams} "
+        f"({res.model}, {res.ticks} ticks; single process = "
+        f"{res.single_records_per_sec:,.0f} rec/s)",
+    ))
+    print(f"shards=1 bit-identical to FleetPredictor: {res.parity_shard1}")
 
 
 _RUNNERS = {
@@ -264,6 +288,7 @@ _RUNNERS = {
     "generalization": _print_generalization,
     "resilience": _print_resilience,
     "fleet": _print_fleet,
+    "shard": _print_shard,
 }
 
 

@@ -31,12 +31,20 @@ from .resilience import (
     Supervisor,
     SupervisorPolicy,
 )
+from .shard import ShardedFleetPredictor, shard_boundaries
+from .shm import ShmArraySpec, ShmBlock, SharedMatrixRingBuffer, ring_specs
 
 __all__ = [
     "RollingBuffer",
     "MatrixRingBuffer",
     "FleetPredictor",
     "FleetTick",
+    "ShardedFleetPredictor",
+    "shard_boundaries",
+    "SharedMatrixRingBuffer",
+    "ShmBlock",
+    "ShmArraySpec",
+    "ring_specs",
     "FleetGate",
     "FleetGateResult",
     "PageHinkley",

@@ -217,6 +217,11 @@ class _FleetStats:
         #: fleet-wide (the model is shared, so refits are not per-stream)
         self.n_refits = 0
         self.n_refit_failures = 0
+        #: running fleet totals mirrored at the mutation sites so the
+        #: per-tick obs wrapper reads O(1) ints instead of summing the
+        #: per-stream arrays (4 O(N) scans/tick — the N=1 bench killer)
+        self.total_fallback_predictions = 0
+        self.total_clamped_predictions = 0
         self.errors = MatrixRingBuffer(streams, error_history, 1)
 
     @property
@@ -254,6 +259,8 @@ class _FleetStats:
         self.sum_sq_error[...] = state["sum_sq_error"]
         self.n_refits = int(state["n_refits"])
         self.n_refit_failures = int(state["n_refit_failures"])
+        self.total_fallback_predictions = int(self.n_fallback_predictions.sum())
+        self.total_clamped_predictions = int(self.n_clamped_predictions.sum())
         self.errors.load_state_dict(state["errors"])
 
 
@@ -414,6 +421,7 @@ class FleetPredictor:
         # each tick's due windows gather into its leading rows in place
         self._batch = np.empty((n_streams, window, features), dtype=self._serve_dtype)
         self._last_batch_size = 0
+        self._last_n_served = 0
 
     # -- health ---------------------------------------------------------------
 
@@ -528,6 +536,7 @@ class FleetPredictor:
         wild = armed[served] & np.isfinite(vals) & ((vals < lo_t) | (vals > hi_t))
         if wild.any():
             self.stats.n_clamped_predictions[served[wild]] += 1
+            self.stats.total_clamped_predictions += int(np.count_nonzero(wild))
             predictions[served[wild]] = np.clip(
                 vals[wild], lo_t[wild], hi_t[wild]
             )
@@ -549,8 +558,8 @@ class FleetPredictor:
         st = self.stats
         b_refits = st.n_refits
         b_refit_failures = st.n_refit_failures
-        b_fallback = int(st.n_fallback_predictions.sum())
-        b_clamped = int(st.n_clamped_predictions.sum())
+        b_fallback = st.total_fallback_predictions
+        b_clamped = st.total_clamped_predictions
         t0 = time.perf_counter()
         self._span_tick += 1
         if self._span_tick >= self._span_sample:
@@ -567,7 +576,7 @@ class FleetPredictor:
             self._g_throughput.set(self.n_streams / elapsed)
         counters = self._obs_counters
         counters["records"].inc(self.n_streams)
-        n_served = int(result.served.sum())
+        n_served = self._last_n_served
         if n_served:
             counters["predictions"].inc(n_served)
         level = _HEALTH_LEVEL[self.health]
@@ -581,10 +590,10 @@ class FleetPredictor:
         n_drift = int(result.drift.sum())
         if n_drift:
             counters["drift_events"].inc(n_drift)
-        fallback = int(st.n_fallback_predictions.sum()) - b_fallback
+        fallback = st.total_fallback_predictions - b_fallback
         if fallback:
             counters["fallback_predictions"].inc(fallback)
-        clamped = int(st.n_clamped_predictions.sum()) - b_clamped
+        clamped = st.total_clamped_predictions - b_clamped
         if clamped:
             counters["clamped_predictions"].inc(clamped)
         return result
@@ -645,11 +654,13 @@ class FleetPredictor:
                 self._sanitize(predictions, fresh)
         if used_fallback.any():
             st.n_fallback_predictions[used_fallback] += 1
+            st.total_fallback_predictions += int(np.count_nonzero(used_fallback))
 
         # -- score + drift (only streams that actually got a prediction)
         have = np.isfinite(predictions)
+        self._last_n_served = int(np.count_nonzero(have))
         errors = np.full(self.n_streams, np.nan)
-        if have.any():
+        if self._last_n_served:
             err = np.abs(predictions[have] - actuals[have])
             errors[have] = err
             st.n_predictions[have] += 1

@@ -1,0 +1,676 @@
+"""Sharded multi-process fleet serving over shared-memory ring buffers.
+
+:class:`~repro.streaming.fleet.FleetPredictor` vectorizes a whole fleet
+into one process; on a multi-core host that one process is the ceiling.
+:class:`ShardedFleetPredictor` removes it by partitioning the N streams
+of a fleet across a pool of **persistent** worker processes, each
+running its own :class:`FleetPredictor` shard, and driving them in
+lock-step, one tick at a time:
+
+* the coordinator writes the ``(N, F)`` tick into a shared-memory block
+  (:class:`~repro.streaming.shm.ShmBlock`) and sends each worker a
+  constant-size control token — per-tick traffic over the pipes is
+  O(shards), never O(N), and no record is ever pickled on the hot path;
+* each worker reads its contiguous row-slice of the tick, runs its
+  shard's ``process_tick``, and writes the columnar
+  :class:`~repro.streaming.fleet.FleetTick` mirror (predictions,
+  actuals, errors, drift, health, gate actions) back into the same
+  block;
+* worker stream histories live in a fleet-wide
+  :class:`~repro.streaming.shm.SharedMatrixRingBuffer`, so the
+  coordinator can read any stream's recent records zero-copy
+  (:meth:`ShardedFleetPredictor.stream_history`) without interrupting a
+  worker;
+* the whole fleet checkpoints as **one** artifact: the coordinator
+  collects every shard's ``state_dict`` (rare path — the pipe is fine
+  there) and composes them with the fleet config; restore rejects
+  config mismatches and resumes every shard bit-for-bit;
+* worker observability merges on :meth:`close` through the same
+  ``adopt_series`` / span-revival path the parallel experiment runner
+  uses — per-shard tick-latency histograms are adopted both fleet-wide
+  (same-name series sum) and under a ``shard`` label.
+
+**Exactness contract:** with ``shards=1`` every
+:class:`~repro.streaming.fleet.FleetTick` is bit-identical to a
+single-process :class:`FleetPredictor` fed the same ticks, including
+across a mid-stream snapshot/restore (asserted in
+``tests/streaming/test_shard.py``). With ``shards > 1`` the semantics
+deliberately change in exactly one way: the shared model and the refit
+clock become *per-shard* (shard-local pooled refits) instead of
+fleet-global — the same trade the fleet made against the scalar
+predictor, one level up.
+
+**Fault isolation:** a worker that dies (crash, OOM-kill, ``SIGKILL``)
+takes only its own streams down. Its rows report NaN predictions with
+``health=2`` and a quarantine gate code from then on, the failure is
+counted in :meth:`stats` and the
+``serving_shard_worker_failures_total`` counter, and the surviving
+shards keep serving untouched ticks bit-identically.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback as _traceback
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..obs import trace as obs_trace
+from ..obs.registry import Counter as MetricCounter
+from ..obs.registry import Gauge as MetricGauge
+from ..obs.registry import Histogram as MetricHistogram
+from ..obs.registry import MetricRegistry, get_registry, is_enabled, log_buckets
+from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
+from .fleet import FleetPredictor, FleetTick
+from .resilience import GATE_QUARANTINE
+from .shm import ShmArraySpec, ShmBlock, SharedMatrixRingBuffer, ring_specs
+
+__all__ = ["ShardedFleetPredictor", "shard_boundaries"]
+
+#: gate action code and health level stamped on rows of a dead shard
+_DEAD_GATED = GATE_QUARANTINE
+_DEAD_HEALTH = 2
+
+#: FleetPredictor constructor defaults the coordinator must mirror when a
+#: kwarg is left unset (config snapshots and shm sizing depend on them)
+_FLEET_DEFAULTS = {
+    "forecaster_name": "xgboost",
+    "window": 12,
+    "buffer_capacity": 600,
+    "features": 1,
+    "target_col": 0,
+}
+
+
+def shard_boundaries(n_streams: int, shards: int) -> tuple[int, ...]:
+    """Contiguous, balanced partition bounds: shard ``i`` owns ``[b[i], b[i+1])``."""
+    if shards < 1 or shards > n_streams:
+        raise ValueError(
+            f"shards must be in [1, n_streams={n_streams}], got {shards}"
+        )
+    return tuple((i * n_streams) // shards for i in range(shards + 1))
+
+
+def _tick_specs(n_streams: int, features: int, shards: int) -> tuple[ShmArraySpec, ...]:
+    """The per-tick fan-out/fan-in arrays (columnar FleetTick mirror)."""
+    return (
+        ShmArraySpec("ticks_in", (n_streams, features), "<f8"),
+        ShmArraySpec("predictions", (n_streams,), "<f8"),
+        ShmArraySpec("actuals", (n_streams,), "<f8"),
+        ShmArraySpec("errors", (n_streams,), "<f8"),
+        ShmArraySpec("drift", (n_streams,), "|b1"),
+        ShmArraySpec("health", (n_streams,), "|u1"),
+        ShmArraySpec("gated", (n_streams,), "|i1"),
+        ShmArraySpec("refit", (shards,), "|u1"),
+    )
+
+
+def _shard_worker(
+    conn: Any,
+    shm_name: str,
+    specs: tuple[ShmArraySpec, ...],
+    shard_index: int,
+    lo: int,
+    hi: int,
+    fleet_kwargs: dict[str, Any],
+) -> None:
+    """Worker loop: one persistent process serving streams ``[lo, hi)``.
+
+    Runs in a spawned child with a clean interpreter. All per-tick data
+    moves through the attached shm block; the pipe carries only control
+    tokens and the rare state/metrics payloads.
+    """
+    try:
+        block = ShmBlock.attach(specs, shm_name)
+        predictor = FleetPredictor(hi - lo, **fleet_kwargs)
+        # swap the private history ring for this shard's row-slice of the
+        # fleet-wide shared ring: same semantics, zero-copy parent reads
+        predictor.buffer = SharedMatrixRingBuffer.from_arrays(
+            block["ring_data"][lo:hi], block["ring_head"][lo:hi], block["ring_size"][lo:hi]
+        )
+        conn.send(("ready", lo, hi))
+    except Exception as exc:  # noqa: BLE001 — startup failure must reach the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}", _traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+
+    from ..obs.registry import default_registry
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        cmd = msg[0]
+        try:
+            if cmd == "tick":
+                tick = np.array(block["ticks_in"][lo:hi])
+                result = predictor.process_tick(tick)
+                block["predictions"][lo:hi] = result.predictions
+                block["actuals"][lo:hi] = result.actuals
+                block["errors"][lo:hi] = result.errors
+                block["drift"][lo:hi] = result.drift
+                block["health"][lo:hi] = result.health
+                block["gated"][lo:hi] = result.gated
+                block["refit"][shard_index] = result.refit
+                conn.send(("ok",))
+            elif cmd == "state":
+                conn.send(("state", predictor.state_dict()))
+            elif cmd == "load":
+                predictor.load_state_dict(msg[1])
+                conn.send(("ok",))
+            elif cmd == "stats":
+                st = predictor.stats
+                conn.send(
+                    (
+                        "stats",
+                        {
+                            "streams": hi - lo,
+                            "n_predictions": int(st.n_predictions.sum()),
+                            "sum_abs_error": float(st.sum_abs_error.sum()),
+                            "n_refits": int(st.n_refits),
+                            "n_refit_failures": int(st.n_refit_failures),
+                            "n_drifts": int(st.n_drifts.sum()),
+                            "n_quarantined": int(predictor.gate.n_quarantined.sum()),
+                            "health": predictor.health.name,
+                        },
+                    )
+                )
+            elif cmd == "metrics":
+                tracer = obs_trace.default_tracer()
+                conn.send(
+                    (
+                        "metrics",
+                        default_registry().snapshot()["series"],
+                        [s.to_dict() for s in tracer.finished],
+                    )
+                )
+                tracer.clear()
+            elif cmd == "stop":
+                conn.send(("ok",))
+                break
+            else:
+                conn.send(("error", f"unknown command {cmd!r}", ""))
+        except Exception as exc:  # noqa: BLE001 — report, stay alive; parent decides
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}", _traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+class _ShardHandle:
+    """Coordinator-side record of one worker: process, pipe, stream slice."""
+
+    __slots__ = ("index", "lo", "hi", "proc", "conn", "alive")
+
+    def __init__(self, index: int, lo: int, hi: int, proc: Any, conn: Any) -> None:
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.proc = proc
+        self.conn = conn
+        self.alive = True
+
+
+class ShardedFleetPredictor:
+    """Drive N streams through ``shards`` persistent FleetPredictor workers.
+
+    Parameters
+    ----------
+    n_streams:
+        Total streams in the fleet; each tick is ``(n_streams, features)``
+        (or ``(n_streams,)`` univariate).
+    shards:
+        Worker process count; streams partition contiguously and evenly
+        (:func:`shard_boundaries`). ``shards=1`` is bit-identical to a
+        single-process :class:`FleetPredictor`.
+    tick_timeout:
+        Seconds the coordinator waits for a worker's tick token before
+        declaring the shard failed (``None`` blocks until the pipe
+        closes — a killed worker still fails fast via EOF).
+    registry:
+        Parent-side :class:`~repro.obs.MetricRegistry` for coordinator
+        instruments and the worker metric merge at :meth:`close`.
+    fleet_kwargs:
+        Every remaining keyword is forwarded verbatim to each worker's
+        :class:`FleetPredictor` (``window``, ``refit_interval``,
+        ``gate_policy``, ...). They must be picklable (they cross the
+        spawn boundary once, at start-up); ``refit_fault_hook`` is
+        rejected — a live callable cannot cross process boundaries.
+    """
+
+    def __init__(
+        self,
+        n_streams: int,
+        shards: int = 2,
+        *,
+        tick_timeout: float | None = None,
+        registry: MetricRegistry | None = None,
+        **fleet_kwargs: Any,
+    ) -> None:
+        if n_streams < 1:
+            raise ValueError(f"n_streams must be >= 1, got {n_streams}")
+        for forbidden in ("n_streams", "registry", "refit_fault_hook"):
+            if forbidden in fleet_kwargs:
+                raise ValueError(
+                    f"{forbidden!r} cannot be passed through to shard workers"
+                )
+        self.n_streams = n_streams
+        self.shards = shards
+        self.boundaries = shard_boundaries(n_streams, shards)
+        self.tick_timeout = tick_timeout
+        self.fleet_kwargs = dict(fleet_kwargs)
+        cfg = {**_FLEET_DEFAULTS, **self.fleet_kwargs}
+        self.features = int(cfg["features"])
+        self.target_col = int(cfg["target_col"])
+        self.window = int(cfg["window"])
+        self.buffer_capacity = int(cfg["buffer_capacity"])
+        self.forecaster_name = str(cfg["forecaster_name"])
+
+        self._registry = get_registry(registry)
+        self._h_latency = MetricHistogram(
+            "serving_shard_tick_seconds",
+            "per-tick sharded-fleet latency (fan-out + shards + fan-in)",
+            buckets=log_buckets(1e-6, 10.0),
+        )
+        self._g_throughput = MetricGauge(
+            "serving_shard_records_per_sec", "instantaneous sharded-fleet throughput"
+        )
+        self._c_ticks = MetricCounter(
+            "serving_shard_ticks_total", "fleet ticks driven through the shard pool"
+        )
+        self._c_failures = MetricCounter(
+            "serving_shard_worker_failures_total",
+            "shard workers declared dead by the coordinator",
+        )
+        for inst in (self._h_latency, self._g_throughput, self._c_ticks, self._c_failures):
+            self._registry.register(inst)
+
+        self._step = 0
+        self._closed = False
+        self.worker_failures = 0
+        self.errors: list[str] = []
+
+        specs = _tick_specs(n_streams, self.features, shards) + ring_specs(
+            n_streams, self.buffer_capacity, self.features
+        )
+        self._specs = specs
+        self._block = ShmBlock.create(specs)
+        self._block["ticks_in"][...] = np.nan
+        self._ring: SharedMatrixRingBuffer | None = SharedMatrixRingBuffer.from_arrays(
+            self._block["ring_data"], self._block["ring_head"], self._block["ring_size"]
+        )
+
+        ctx = get_context("spawn")
+        self._handles: list[_ShardHandle] = []
+        try:
+            for i in range(shards):
+                lo, hi = self.boundaries[i], self.boundaries[i + 1]
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child_conn, self._block.name, specs, i, lo, hi, self.fleet_kwargs),
+                    daemon=True,
+                    name=f"fleet-shard-{i}",
+                )
+                proc.start()
+                child_conn.close()
+                self._handles.append(_ShardHandle(i, lo, hi, proc, parent_conn))
+            for h in self._handles:
+                reply = h.conn.recv()
+                if reply[0] != "ready":
+                    raise RuntimeError(
+                        f"shard {h.index} failed to start: {reply[1]}\n{reply[2]}"
+                    )
+        except Exception:
+            self.close(collect_metrics=False)
+            raise
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def __enter__(self) -> "ShardedFleetPredictor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover — GC safety net
+        try:
+            self.close(collect_metrics=False)
+        except Exception:  # noqa: BLE001
+            pass
+
+    @property
+    def failed_shards(self) -> tuple[int, ...]:
+        """Indices of shards whose worker has been declared dead."""
+        return tuple(h.index for h in self._handles if not h.alive)
+
+    def _mark_failed(self, handle: _ShardHandle, reason: str) -> None:
+        if not handle.alive:
+            return
+        handle.alive = False
+        self.worker_failures += 1
+        self._c_failures.inc()
+        msg = f"shard {handle.index} (streams [{handle.lo}, {handle.hi})) failed: {reason}"
+        self.errors.append(msg)
+        if len(self.errors) > 64:
+            del self.errors[:-64]
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if handle.proc.is_alive():
+            handle.proc.terminate()
+        handle.proc.join(timeout=5.0)
+
+    def _live(self) -> list[_ShardHandle]:
+        if self._closed:
+            raise RuntimeError("ShardedFleetPredictor is closed")
+        return [h for h in self._handles if h.alive]
+
+    # -- serving ----------------------------------------------------------------
+
+    def process_tick(self, tick: np.ndarray) -> FleetTick:
+        """One fleet step across every live shard; dead shards yield NaN rows."""
+        live = self._live()
+        arr = np.asarray(tick, float)
+        if arr.ndim == 1 and self.features == 1:
+            arr = arr[:, None]
+        if arr.shape != (self.n_streams, self.features):
+            raise ValueError(
+                f"expected tick of shape ({self.n_streams}, {self.features}), "
+                f"got {arr.shape}"
+            )
+        t0 = time.perf_counter()
+        block = self._block
+        block["ticks_in"][...] = arr
+        block["refit"][...] = 0
+
+        dispatched: list[_ShardHandle] = []
+        for h in live:
+            try:
+                h.conn.send(("tick",))
+                dispatched.append(h)
+            except (BrokenPipeError, OSError) as exc:
+                self._mark_failed(h, f"pipe closed on dispatch ({exc})")
+        for h in dispatched:
+            try:
+                if self.tick_timeout is not None and not h.conn.poll(self.tick_timeout):
+                    raise TimeoutError(f"no tick reply within {self.tick_timeout}s")
+                reply = h.conn.recv()
+                if reply[0] != "ok":
+                    raise RuntimeError(f"tick errored in worker: {reply[1]}")
+            except (EOFError, OSError, TimeoutError, RuntimeError) as exc:
+                self._mark_failed(h, str(exc))
+
+        predictions = np.array(block["predictions"])
+        actuals = np.array(block["actuals"])
+        errors = np.array(block["errors"])
+        drift = np.array(block["drift"])
+        health = np.array(block["health"])
+        gated = np.array(block["gated"])
+        refit = False
+        for h in self._handles:
+            if h.alive:
+                refit = refit or bool(block["refit"][h.index])
+            else:
+                sl = slice(h.lo, h.hi)
+                predictions[sl] = np.nan
+                errors[sl] = np.nan
+                actuals[sl] = arr[sl, self.target_col]
+                drift[sl] = False
+                health[sl] = _DEAD_HEALTH
+                gated[sl] = _DEAD_GATED
+
+        self._step += 1
+        if is_enabled():
+            elapsed = time.perf_counter() - t0
+            self._h_latency.observe(elapsed)
+            self._c_ticks.inc()
+            if elapsed > 0:
+                self._g_throughput.set(self.n_streams / elapsed)
+        return FleetTick(
+            step=self._step - 1,
+            predictions=predictions,
+            actuals=actuals,
+            errors=errors,
+            refit=refit,
+            drift=drift,
+            health=health,
+            gated=gated,
+        )
+
+    def run(self, ticks: np.ndarray) -> list[FleetTick]:
+        """Process a ``(T, n_streams[, features])`` tick matrix sequentially."""
+        ticks = np.asarray(ticks, float)
+        if ticks.ndim == 2 and self.features == 1:
+            ticks = ticks[:, :, None]
+        with obs_trace.span("serving.shard_run") as sp:
+            out = [self.process_tick(t) for t in ticks]
+            sp.add("ticks", len(out))
+            sp.add("records", len(out) * self.n_streams)
+        return out
+
+    def stream_history(self, stream: int) -> np.ndarray:
+        """One stream's buffered records, oldest first — zero-IPC shm read.
+
+        Safe between ticks (the coordinator and the workers alternate on
+        the tick protocol, so no worker is writing while this reads).
+        """
+        if self._ring is None:
+            raise RuntimeError("ShardedFleetPredictor is closed")
+        if not 0 <= stream < self.n_streams:
+            raise IndexError(f"stream must be in [0, {self.n_streams}), got {stream}")
+        return self._ring.view(stream)
+
+    # -- introspection -----------------------------------------------------------
+
+    def _request(self, handle: _ShardHandle, command: tuple, expect: str) -> Any:
+        """Send one control command and return its payload (or mark failed)."""
+        try:
+            handle.conn.send(command)
+            reply = handle.conn.recv()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            self._mark_failed(handle, f"pipe closed during {command[0]!r} ({exc})")
+            raise RuntimeError(
+                f"shard {handle.index} died during {command[0]!r}"
+            ) from exc
+        if reply[0] == "error":
+            raise RuntimeError(f"shard {handle.index} {command[0]!r} failed: {reply[1]}")
+        if reply[0] != expect:
+            raise RuntimeError(
+                f"shard {handle.index} replied {reply[0]!r} to {command[0]!r}"
+            )
+        return reply[1] if len(reply) > 1 else None
+
+    def stats(self) -> dict[str, Any]:
+        """Fleet-wide serving statistics plus per-shard detail and failures."""
+        per_shard: list[dict[str, Any]] = []
+        totals = {"n_predictions": 0, "sum_abs_error": 0.0, "n_refits": 0,
+                  "n_refit_failures": 0, "n_drifts": 0, "n_quarantined": 0}
+        for h in self._handles:
+            if not h.alive:
+                per_shard.append(
+                    {"shard": h.index, "streams": h.hi - h.lo, "ok": False}
+                )
+                continue
+            payload = self._request(h, ("stats",), "stats")
+            payload = {"shard": h.index, "ok": True, **payload}
+            per_shard.append(payload)
+            for key in totals:
+                totals[key] += payload[key]
+        fleet_mae = totals["sum_abs_error"] / max(totals["n_predictions"], 1)
+        return {
+            "n_streams": self.n_streams,
+            "shards": self.shards,
+            "step": self._step,
+            "worker_failures": self.worker_failures,
+            "failed_shards": list(self.failed_shards),
+            "errors": list(self.errors),
+            "fleet_mae": fleet_mae,
+            **totals,
+            "per_shard": per_shard,
+        }
+
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def _config_dict(self) -> dict[str, Any]:
+        return {
+            "n_streams": self.n_streams,
+            "shards": self.shards,
+            "boundaries": list(self.boundaries),
+            "features": self.features,
+            "window": self.window,
+            "buffer_capacity": self.buffer_capacity,
+            "forecaster_name": self.forecaster_name,
+            "tick_timeout": self.tick_timeout,
+            "fleet_kwargs": dict(self.fleet_kwargs),
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Compose every shard's state into one crash-safe fleet snapshot.
+
+        Refuses to checkpoint a degraded fleet: a snapshot missing a
+        shard could silently restore a smaller fleet.
+        """
+        if self.failed_shards:
+            raise RuntimeError(
+                f"cannot checkpoint with failed shards {list(self.failed_shards)}"
+            )
+        shard_states = [self._request(h, ("state",), "state") for h in self._live()]
+        write_checkpoint(
+            path,
+            {
+                "kind": "sharded_fleet_predictor",
+                "state": {
+                    "config": self._config_dict(),
+                    "step": self._step,
+                    "shard_states": shard_states,
+                },
+            },
+        )
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Adopt a composed snapshot; every shard must match its saved config."""
+        cfg = state["config"]
+        if (
+            cfg["n_streams"] != self.n_streams
+            or cfg["shards"] != self.shards
+            or list(cfg["boundaries"]) != list(self.boundaries)
+            or cfg["features"] != self.features
+            or cfg["window"] != self.window
+            or cfg["buffer_capacity"] != self.buffer_capacity
+            or cfg["forecaster_name"] != self.forecaster_name
+        ):
+            raise CheckpointError(
+                "sharded checkpoint config mismatch: saved "
+                f"(streams={cfg['n_streams']}, shards={cfg['shards']}, "
+                f"forecaster={cfg['forecaster_name']}, window={cfg['window']}, "
+                f"features={cfg['features']}, capacity={cfg['buffer_capacity']}) vs live "
+                f"(streams={self.n_streams}, shards={self.shards}, "
+                f"forecaster={self.forecaster_name}, window={self.window}, "
+                f"features={self.features}, capacity={self.buffer_capacity})"
+            )
+        shard_states = state["shard_states"]
+        if len(shard_states) != self.shards:
+            raise CheckpointError(
+                f"snapshot holds {len(shard_states)} shard states, need {self.shards}"
+            )
+        for h, shard_state in zip(self._live(), shard_states):
+            try:
+                self._request(h, ("load", shard_state), "ok")
+            except RuntimeError as exc:
+                raise CheckpointError(str(exc)) from exc
+        self._step = int(state["step"])
+
+    @classmethod
+    def restore(cls, path: str | Path, **overrides: Any) -> "ShardedFleetPredictor":
+        """Rebuild the sharded fleet from a composed snapshot and resume."""
+        artifact = read_checkpoint(path)
+        if not isinstance(artifact, dict) or artifact.get("kind") != "sharded_fleet_predictor":
+            raise CheckpointError(
+                f"{path} does not hold a ShardedFleetPredictor checkpoint"
+            )
+        state = artifact["state"]
+        cfg = state["config"]
+        kwargs: dict[str, Any] = {
+            "shards": cfg["shards"],
+            "tick_timeout": cfg["tick_timeout"],
+            **cfg["fleet_kwargs"],
+        }
+        kwargs.update(overrides)
+        predictor = cls(cfg["n_streams"], **kwargs)
+        try:
+            predictor.load_state(state)
+        except Exception:
+            predictor.close(collect_metrics=False)
+            raise
+        return predictor
+
+    # -- observability merge / shutdown ------------------------------------------
+
+    def _harvest_metrics(self, handle: _ShardHandle) -> None:
+        """Adopt one worker's metric series and revive its spans (once)."""
+        try:
+            handle.conn.send(("metrics",))
+            reply = handle.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            return
+        if reply[0] != "metrics":
+            return
+        _, series, spans = reply
+        self._registry.adopt_series(series)
+        labeled = []
+        for entry in series:
+            if entry.get("name") == "serving_fleet_tick_seconds":
+                entry = dict(entry)
+                entry["labels"] = {
+                    **dict(entry.get("labels") or {}),
+                    "shard": str(handle.index),
+                }
+                labeled.append(entry)
+        if labeled:
+            self._registry.adopt_series(labeled)
+        # imported here: experiments.parallel pulls in the experiments package,
+        # which imports repro.streaming — a cycle at module-import time
+        from ..experiments.parallel import revive_span
+
+        tracer = obs_trace.default_tracer()
+        for span_data in spans:
+            revive_span(span_data, tracer)
+
+    def close(self, collect_metrics: bool = True) -> None:
+        """Stop every worker, merge their metrics, release the shm segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for h in getattr(self, "_handles", []):
+            if not h.alive:
+                continue
+            if collect_metrics:
+                self._harvest_metrics(h)
+            try:
+                h.conn.send(("stop",))
+                if h.conn.poll(5.0):
+                    h.conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            h.alive = False
+            try:
+                h.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            h.proc.join(timeout=5.0)
+            if h.proc.is_alive():  # pragma: no cover — hung worker
+                h.proc.terminate()
+                h.proc.join(timeout=5.0)
+        self._ring = None  # drop shm views before the owning block unmaps
+        if getattr(self, "_block", None) is not None:
+            self._block.close()
+            self._block = None

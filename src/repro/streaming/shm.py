@@ -1,0 +1,262 @@
+"""Shared-memory numpy storage for cross-process fleet serving.
+
+The sharded fleet coordinator and its worker processes exchange one tick
+of data per step for every stream in the fleet. Pickling that tick over
+a pipe costs O(N) serialization both ways on the hottest path in the
+system; instead, both sides map the same ``multiprocessing.shared_memory``
+segment and the tick travels as two vectorized numpy copies (parent
+writes the ``(N, F)`` tick in, workers write the columnar
+:class:`~repro.streaming.fleet.FleetTick` mirror out). Only tiny
+constant-size control tokens cross the pipe per tick.
+
+Two building blocks live here:
+
+* :class:`ShmBlock` — one shared segment carved into named, dtype-typed
+  numpy arrays from a declarative list of :class:`ShmArraySpec`. The
+  creating process owns the segment (and unlinks it); attaching
+  processes get views over the same pages.
+* :class:`SharedMatrixRingBuffer` — a
+  :class:`~repro.streaming.buffer.MatrixRingBuffer` whose storage
+  (data + per-stream heads and sizes) lives in an :class:`ShmBlock`, so
+  a worker's stream histories are readable zero-copy from the
+  coordinator (e.g. for snapshot composition or history inspection)
+  while remaining element-for-element identical in behaviour to the
+  private in-process ring (property-tested in
+  ``tests/streaming/test_shm_buffer.py``).
+
+Ownership protocol: exactly one process *creates* a block (and its
+``close()`` also unlinks the segment); every other process *attaches*
+and only ever drops its own mapping. Attachers must be spawned children
+of the creator so that they share its resource-tracker process — then a
+dying (even ``SIGKILL``\\ ed) worker cannot destroy a segment the rest
+of the fleet is still using.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .buffer import MatrixRingBuffer
+
+__all__ = ["ShmArraySpec", "ShmBlock", "SharedMatrixRingBuffer", "ring_specs"]
+
+#: every array in a block starts on a 64-byte boundary (cache-line size)
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """One named array inside a shared block."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str  #: numpy dtype string (``"<f8"``, ``"|b1"``, ...)
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _layout(specs: tuple[ShmArraySpec, ...]) -> tuple[dict[str, int], int]:
+    """Aligned byte offsets per array and the total segment size."""
+    offsets: dict[str, int] = {}
+    cursor = 0
+    for spec in specs:
+        if spec.name in offsets:
+            raise ValueError(f"duplicate array name {spec.name!r} in shm layout")
+        offsets[spec.name] = cursor
+        cursor += -(-spec.nbytes // _ALIGN) * _ALIGN
+    return offsets, max(cursor, 1)
+
+
+class ShmBlock:
+    """A shared-memory segment presented as named numpy arrays.
+
+    Build one with :meth:`create` (owner side) or :meth:`attach` (worker
+    side, given the owner's ``specs`` and segment ``name``); index it
+    like a mapping: ``block["predictions"]`` is a live numpy view.
+    """
+
+    def __init__(
+        self, specs: tuple[ShmArraySpec, ...], shm: shared_memory.SharedMemory, owner: bool
+    ) -> None:
+        self.specs = tuple(specs)
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        offsets, _ = _layout(self.specs)
+        self._arrays = {
+            spec.name: np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=offsets[spec.name]
+            )
+            for spec in self.specs
+        }
+
+    @classmethod
+    def create(cls, specs: tuple[ShmArraySpec, ...] | list[ShmArraySpec]) -> "ShmBlock":
+        """Allocate a fresh zero-initialized segment sized for ``specs``."""
+        specs = tuple(specs)
+        _, size = _layout(specs)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        block = cls(specs, shm, owner=True)
+        for arr in block._arrays.values():
+            arr[...] = np.zeros((), dtype=arr.dtype)
+        return block
+
+    @classmethod
+    def attach(
+        cls, specs: tuple[ShmArraySpec, ...] | list[ShmArraySpec], name: str
+    ) -> "ShmBlock":
+        """Map an existing segment by name (non-owning).
+
+        Attachers are expected to be ``multiprocessing``-spawned children
+        of the creator, which share the creator's resource-tracker
+        process: the duplicate registration on attach is a no-op there,
+        and a killed worker cannot tear the segment down (the tracker
+        only reaps at tracker shutdown, after the owner's unlink).
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(tuple(specs), shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The OS-level segment name attachers need."""
+        return self._shm.name
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    def __getitem__(self, field: str) -> np.ndarray:
+        return self._arrays[field]
+
+    def __contains__(self, field: str) -> bool:
+        return field in self._arrays
+
+    def close(self) -> None:
+        """Drop this process's mapping; the owner also destroys the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays.clear()  # views must die before the buffer unmaps
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover — a leaked view pins the mapping
+            return
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover — GC safety net
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def ring_specs(streams: int, capacity: int, features: int, prefix: str = "ring") -> tuple[
+    ShmArraySpec, ShmArraySpec, ShmArraySpec
+]:
+    """The three arrays a :class:`SharedMatrixRingBuffer` needs in a block."""
+    return (
+        ShmArraySpec(f"{prefix}_data", (streams, capacity, features), "<f8"),
+        ShmArraySpec(f"{prefix}_head", (streams,), "<i8"),
+        ShmArraySpec(f"{prefix}_size", (streams,), "<i8"),
+    )
+
+
+class SharedMatrixRingBuffer(MatrixRingBuffer):
+    """A :class:`MatrixRingBuffer` whose storage lives in shared memory.
+
+    Behaviourally identical to the private ring — every method is
+    inherited and every mutation is an in-place write, so two processes
+    mapping the same block observe the same ring state. Construct with
+    :meth:`create` (allocates a dedicated owning block), :meth:`attach`
+    (maps a creator's block), or :meth:`from_arrays` (views carved out
+    of a caller-managed block, e.g. one shard's row-slice of the fleet
+    ring).
+
+    Concurrency contract: the ring itself is not locked. The sharded
+    fleet's tick protocol provides the synchronization — workers only
+    write while the coordinator is waiting for their tick token, and the
+    coordinator only reads between ticks.
+    """
+
+    def __init__(self, streams: int, capacity: int, features: int) -> None:
+        # validate via the parent, then discard its private allocation if
+        # a factory re-points storage afterwards (create/attach/from_arrays)
+        super().__init__(streams, capacity, features)
+        self._block: ShmBlock | None = None
+
+    def _adopt(self, data: np.ndarray, head: np.ndarray, size: np.ndarray) -> None:
+        if data.shape != (self.streams, self.capacity, self.features):
+            raise ValueError(
+                f"storage shape {data.shape} does not match ring "
+                f"({self.streams}, {self.capacity}, {self.features})"
+            )
+        self._data = data
+        self._head = head
+        self._size = size
+
+    @classmethod
+    def create(cls, streams: int, capacity: int, features: int) -> "SharedMatrixRingBuffer":
+        """Allocate an owning shared block and build the ring over it."""
+        ring = cls(streams, capacity, features)
+        block = ShmBlock.create(ring_specs(streams, capacity, features))
+        ring._adopt(block["ring_data"], block["ring_head"], block["ring_size"])
+        ring._block = block
+        return ring
+
+    @classmethod
+    def attach(
+        cls, streams: int, capacity: int, features: int, name: str
+    ) -> "SharedMatrixRingBuffer":
+        """Map a creator's ring by segment name (non-owning)."""
+        ring = cls(streams, capacity, features)
+        block = ShmBlock.attach(ring_specs(streams, capacity, features), name)
+        ring._adopt(block["ring_data"], block["ring_head"], block["ring_size"])
+        ring._block = block
+        return ring
+
+    @classmethod
+    def from_arrays(
+        cls, data: np.ndarray, head: np.ndarray, size: np.ndarray
+    ) -> "SharedMatrixRingBuffer":
+        """Build a ring over caller-owned storage (e.g. a shard's row-slice).
+
+        ``data`` must be ``(streams, capacity, features)``; ``head`` and
+        ``size`` are the matching ``(streams,)`` int64 cursors. The
+        caller keeps ownership of the backing block's lifetime.
+        """
+        streams, capacity, features = data.shape
+        ring = cls(streams, capacity, features)
+        ring._adopt(data, np.asarray(head), np.asarray(size))
+        return ring
+
+    @property
+    def shm_name(self) -> str:
+        """Segment name for :meth:`attach`; raises if not block-backed."""
+        if self._block is None:
+            raise ValueError("this ring is not backed by its own shm block")
+        return self._block.name
+
+    def close(self) -> None:
+        """Release the backing block mapping (owner also unlinks).
+
+        The ring's storage is re-pointed at private (empty) arrays first
+        — numpy views pin the shared mapping, and ``mmap`` refuses to
+        unmap while exported buffers exist.
+        """
+        if self._block is not None:
+            self._adopt(
+                np.empty((self.streams, self.capacity, self.features)),
+                np.zeros(self.streams, dtype=np.int64),
+                np.zeros(self.streams, dtype=np.int64),
+            )
+            self._block.close()
+            self._block = None

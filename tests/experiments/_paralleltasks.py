@@ -7,6 +7,8 @@ cross the process boundary).
 
 from __future__ import annotations
 
+import os
+import signal
 from pathlib import Path
 
 from repro.obs import registry as obs_registry
@@ -29,6 +31,17 @@ def instrumented(x: int) -> int:
     with obs_trace.span("paralleltest:inner"):
         pass
     return x
+
+
+def worker_pid(x: int) -> int:
+    """Report which worker process ran the task (pool-reuse assertions)."""
+    return os.getpid()
+
+
+def die(x: int) -> int:
+    """Kill the worker hard — simulates an OOM-killed/crashed child."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return x  # pragma: no cover — never reached
 
 
 def touch_and_square(marker_dir: str, x: int) -> dict:

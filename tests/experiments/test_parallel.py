@@ -9,7 +9,14 @@ import numpy as np
 import pytest
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.parallel import TaskSpec, derive_seed, revive_span, run_tasks
+from repro.experiments.parallel import (
+    TaskSpec,
+    derive_seed,
+    revive_span,
+    run_tasks,
+    shutdown_pools,
+    warm_pool,
+)
 from repro.obs import registry as obs_registry
 from repro.obs import trace as obs_trace
 from repro.obs.registry import MetricRegistry
@@ -91,6 +98,48 @@ class TestRunTasks:
             if s["name"] == "experiment_tasks_total"
         }
         assert by_status == {"ok": 2.0, "error": 1.0}
+
+
+class TestPersistentPool:
+    """The pool survives across run_tasks calls and recovers when broken."""
+
+    def test_workers_reused_across_calls(self):
+        shutdown_pools()
+        first = run_tasks(toy_specs(6, fn="worker_pid"), jobs=2, registry=MetricRegistry())
+        second = run_tasks(toy_specs(6, fn="worker_pid"), jobs=2, registry=MetricRegistry())
+        pids_first = {t.value for t in first}
+        pids_second = {t.value for t in second}
+        # no new workers spawn for the second sweep: same process pool
+        assert pids_second <= pids_first
+        shutdown_pools()
+        third = run_tasks(toy_specs(6, fn="worker_pid"), jobs=2, registry=MetricRegistry())
+        assert {t.value for t in third}.isdisjoint(pids_first)
+
+    def test_warm_pool_prespawns_workers(self):
+        shutdown_pools()
+        pids = warm_pool(2)
+        assert pids, "warm_pool spawned no workers"
+        results = run_tasks(toy_specs(4, fn="worker_pid"), jobs=2, registry=MetricRegistry())
+        assert {t.value for t in results} <= set(pids)
+
+    def test_warm_pool_noop_inline(self):
+        assert warm_pool(1) == []
+
+    def test_multi_item_chunks_keep_order_and_isolation(self):
+        specs = toy_specs(20)
+        specs[7] = TaskSpec(experiment="toy", key=(7,), fn=f"{TOYS}.boom", params={"x": 7})
+        results = run_tasks(specs, jobs=2, registry=MetricRegistry())
+        assert [t.ok for t in results] == [i != 7 for i in range(20)]
+        assert [t.value["x"] for t in results if t.ok] == [i for i in range(20) if i != 7]
+
+    def test_broken_pool_fails_inflight_and_recovers(self):
+        shutdown_pools()
+        killed = run_tasks(toy_specs(3, fn="die"), jobs=2, registry=MetricRegistry())
+        assert all(not t.ok for t in killed)
+        assert any("BrokenProcessPool" in (t.error or "") for t in killed)
+        # the dead pool was disposed: the next sweep runs on a fresh one
+        healthy = run_tasks(toy_specs(3), jobs=2, registry=MetricRegistry())
+        assert [t.value["value"] for t in healthy] == [0, 1, 4]
 
 
 class TestObsMerging:

@@ -1,0 +1,144 @@
+"""Shared-memory ring buffer: element-for-element parity with the private ring.
+
+:class:`~repro.streaming.shm.SharedMatrixRingBuffer` inherits every
+method from :class:`~repro.streaming.buffer.MatrixRingBuffer` and only
+re-points the storage at a shared segment, so the contract is total
+behavioural equality: any append/wrap/read sequence must observe
+identical state through both. Hypothesis drives random masked tick
+sequences across random geometries to pin that down.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming import MatrixRingBuffer, SharedMatrixRingBuffer, ShmArraySpec, ShmBlock
+from repro.streaming.shm import ring_specs
+
+
+@pytest.fixture
+def shared_ring():
+    rings = []
+
+    def make(streams, capacity, features=1):
+        ring = SharedMatrixRingBuffer.create(streams, capacity, features)
+        rings.append(ring)
+        return ring
+
+    yield make
+    for ring in rings:
+        ring.close()
+
+
+class TestSharedRingParity:
+    @given(
+        st.integers(1, 5),
+        st.integers(2, 10),
+        st.lists(
+            st.lists(st.booleans(), min_size=1, max_size=5),
+            min_size=0,
+            max_size=30,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_private_ring_under_random_ticks(self, streams, capacity, masks, data):
+        """Random append/wrap/read: shm ring == private ring, element for element."""
+        shared = SharedMatrixRingBuffer.create(streams, capacity, 1)
+        try:
+            private = MatrixRingBuffer(streams, capacity, 1)
+            rng = np.random.default_rng(0)
+            for tick_mask in masks:
+                mask = np.resize(np.asarray(tick_mask, bool), streams)
+                records = rng.normal(size=(streams, 1))
+                shared.append_tick(records, mask=mask)
+                private.append_tick(records, mask=mask)
+            np.testing.assert_array_equal(shared.sizes, private.sizes)
+            for i in range(streams):
+                np.testing.assert_array_equal(shared.view(i), private.view(i))
+            if int(private.sizes.min()) >= 1:
+                w = data.draw(st.integers(1, int(private.sizes.min())))
+                idx = np.arange(streams)
+                np.testing.assert_array_equal(
+                    shared.last_windows(idx, w), private.last_windows(idx, w)
+                )
+            # internal cursor state must agree too, not just the views
+            s_state, p_state = shared.state_dict(), private.state_dict()
+            np.testing.assert_array_equal(s_state["head"], p_state["head"])
+            np.testing.assert_array_equal(s_state["size"], p_state["size"])
+        finally:
+            shared.close()
+
+    def test_state_dict_round_trip_through_shared_storage(self, shared_ring):
+        private = MatrixRingBuffer(3, 4, 2)
+        rng = np.random.default_rng(1)
+        for _ in range(7):
+            private.append_tick(rng.normal(size=(3, 2)))
+        shared = shared_ring(3, 4, 2)
+        shared.load_state_dict(private.state_dict())
+        for i in range(3):
+            np.testing.assert_array_equal(shared.view(i), private.view(i))
+
+
+class TestCrossMappingCoherence:
+    def test_attach_sees_creator_writes(self, shared_ring):
+        creator = shared_ring(2, 5)
+        attached = SharedMatrixRingBuffer.attach(2, 5, 1, creator.shm_name)
+        try:
+            creator.append_tick(np.array([[1.0], [2.0]]))
+            creator.append_tick(np.array([[3.0], [4.0]]), mask=np.array([True, False]))
+            np.testing.assert_array_equal(attached.view(0)[:, 0], [1.0, 3.0])
+            np.testing.assert_array_equal(attached.view(1)[:, 0], [2.0])
+            np.testing.assert_array_equal(attached.sizes, creator.sizes)
+        finally:
+            attached.close()
+
+    def test_row_slice_rings_share_the_fleet_storage(self):
+        """Shard-style slices: each slice ring writes its rows of one block."""
+        block = ShmBlock.create(ring_specs(4, 3, 1))
+        try:
+            fleet = SharedMatrixRingBuffer.from_arrays(
+                block["ring_data"], block["ring_head"], block["ring_size"]
+            )
+            lower = SharedMatrixRingBuffer.from_arrays(
+                block["ring_data"][:2], block["ring_head"][:2], block["ring_size"][:2]
+            )
+            upper = SharedMatrixRingBuffer.from_arrays(
+                block["ring_data"][2:], block["ring_head"][2:], block["ring_size"][2:]
+            )
+            for t in range(5):
+                lower.append_tick(np.full((2, 1), float(t)))
+                upper.append_tick(np.full((2, 1), float(10 + t)))
+            for i in range(4):
+                expected = [2.0, 3.0, 4.0] if i < 2 else [12.0, 13.0, 14.0]
+                np.testing.assert_array_equal(fleet.view(i)[:, 0], expected)
+        finally:
+            block.close()
+
+
+class TestShmBlock:
+    def test_arrays_are_zeroed_and_typed(self):
+        block = ShmBlock.create(
+            (ShmArraySpec("a", (3, 2), "<f8"), ShmArraySpec("b", (4,), "|u1"))
+        )
+        try:
+            assert block["a"].dtype == np.float64 and block["a"].shape == (3, 2)
+            assert block["b"].dtype == np.uint8
+            assert not block["a"].any() and not block["b"].any()
+            assert "a" in block and "missing" not in block
+        finally:
+            block.close()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ShmBlock.create((ShmArraySpec("x", (1,), "<f8"), ShmArraySpec("x", (2,), "<f8")))
+
+    def test_owner_close_unlinks_segment(self):
+        specs = (ShmArraySpec("x", (2,), "<f8"),)
+        block = ShmBlock.create(specs)
+        name = block.name
+        block.close()
+        block.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            ShmBlock.attach(specs, name)
