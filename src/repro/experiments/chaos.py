@@ -1,0 +1,259 @@
+"""Chaos experiment: what a mid-run shard crash costs, with and without
+the supervisor.
+
+The sharded fleet (:mod:`repro.streaming.shard`) claims a self-healing
+story: a SIGKILLed shard worker is detected by deadline, respawned with
+backoff, restored from its background checkpoint, and — while that
+happens — its rows degrade to held-last predictions flagged RECOVERING
+instead of going NaN. This harness prices that claim. It serves the
+same synthetic fleet trace three times through identically configured
+:class:`~repro.streaming.shard.ShardedFleetPredictor` instances:
+
+* **clean** — no faults; the availability and accuracy baseline;
+* **supervised** — a scheduled ``SIGKILL`` of one shard mid-run
+  (:meth:`~repro.streaming.faults.ChaosSchedule.kill_at`), with the
+  supervisor on and background checkpoints enabled;
+* **unsupervised** — the same kill with ``respawn=None``: the failure
+  is terminal, the shard's rows are NaN forever (the pre-supervision
+  behavior).
+
+Three numbers fall out per faulted run, each against the clean run:
+
+* **availability** — finite prediction rows served after the kill as a
+  fraction of what the clean run served over the same window;
+* **time-to-recovery** — ticks (and wall seconds) from the kill until
+  every shard is live again;
+* **accuracy during recovery** — MAE over the victim shard's rows in
+  the outage window, where the supervised run serves held-last
+  predictions; compared against the clean run's MAE on exactly those
+  cells.
+
+The harness also re-asserts the isolation contract under chaos: the
+surviving shards' rows must be bit-identical between the clean and
+supervised runs on every tick.
+
+Everything is deterministic — the trace is seeded, the kill fires at an
+exact tick — except wall-clock recovery time, which depends on process
+spawn latency; recovery is therefore bounded in *ticks* by pacing the
+tick loop while a shard rebuilds (``tick_interval``), the way a real
+cluster's sampling clock would.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.registry import MetricRegistry
+from .config import ExperimentProfile, get_profile
+from .fleet import make_fleet_streams
+
+__all__ = ["ChaosRunStats", "ChaosResult", "run_chaos"]
+
+
+@dataclass
+class ChaosRunStats:
+    """One run's availability/recovery/accuracy summary vs the clean run."""
+
+    label: str
+    #: finite prediction rows served on post-kill ticks
+    finite_rows: int
+    #: finite rows the clean run served on the same ticks
+    expected_rows: int
+    #: finite_rows / expected_rows
+    availability: float
+    #: victim-slice rows that went NaN where the clean run was finite
+    nan_victim_rows: int
+    #: ticks from the kill until every shard was live again (None = never)
+    recovery_ticks: int | None
+    #: wall-clock seconds from failure detection to recovery (None = never)
+    time_to_recovery_s: float | None
+    #: MAE over the victim slice during the outage window
+    outage_mae: float
+    respawns: int
+    worker_failures: int
+    quarantined: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ChaosResult:
+    """Clean vs supervised-chaos vs unsupervised-chaos, one kill scenario."""
+
+    model: str
+    n_streams: int
+    shards: int
+    ticks: int
+    kill_tick: int
+    #: stream slice [lo, hi) owned by the killed shard
+    victim: tuple[int, int]
+    checkpoint_interval: int
+    #: clean-run MAE on the victim slice over the supervised outage window
+    clean_outage_mae: float
+    supervised: ChaosRunStats = None  # type: ignore[assignment]
+    unsupervised: ChaosRunStats = None  # type: ignore[assignment]
+    #: surviving shards bit-identical between clean and supervised runs
+    survivors_bit_identical: bool = False
+
+
+def _drive(pred, streams: np.ndarray, tick_interval: float):
+    """Serve the whole trace, pacing while any shard is rebuilding.
+
+    Returns per-tick prediction/actual matrices plus the recovery
+    timeline: the first tick at which a previously-failed fleet is whole
+    again, and the wall-clock span of the outage.
+    """
+    preds = np.full(streams.shape, np.nan)
+    actuals = np.full(streams.shape, np.nan)
+    fail_tick: int | None = None
+    fail_wall: float | None = None
+    recovery_tick: int | None = None
+    recovery_wall: float | None = None
+    for t in range(streams.shape[0]):
+        out = pred.process_tick(streams[t])
+        preds[t] = out.predictions
+        actuals[t] = out.actuals
+        if pred.failed_shards and fail_tick is None:
+            fail_tick = t
+            fail_wall = time.perf_counter()
+        if fail_tick is not None and recovery_tick is None and not pred.failed_shards:
+            recovery_tick = t
+            recovery_wall = time.perf_counter()
+        if pred.recovering_shards and tick_interval > 0:
+            time.sleep(tick_interval)
+    ttr_ticks = None if recovery_tick is None or fail_tick is None else recovery_tick - fail_tick
+    ttr_wall = None if recovery_wall is None or fail_wall is None else recovery_wall - fail_wall
+    return preds, actuals, ttr_ticks, ttr_wall
+
+
+def _slice_mae(preds, actuals, t0, t1, lo, hi) -> float:
+    """MAE over rows ``[lo, hi)`` of ticks ``[t0, t1)``, finite pairs only."""
+    p = preds[t0:t1, lo:hi]
+    a = actuals[t0:t1, lo:hi]
+    ok = np.isfinite(p) & np.isfinite(a)
+    if not ok.any():
+        return float("nan")
+    return float(np.abs(p[ok] - a[ok]).mean())
+
+
+def run_chaos(
+    profile: str | ExperimentProfile = "quick",
+    model: str = "holt",
+    model_kwargs: dict | None = None,
+    n_streams: int = 64,
+    shards: int = 2,
+    ticks: int | None = None,
+    kill_tick: int | None = None,
+    checkpoint_interval: int = 8,
+    tick_interval: float = 0.05,
+    refit_interval: int = 32,
+) -> ChaosResult:
+    """SIGKILL one shard mid-run; measure the fleet with and without recovery."""
+    # deferred: repro.streaming.shard <-> repro.experiments import cycle
+    from ..streaming.faults import ChaosSchedule
+    from ..streaming.shard import RespawnPolicy, ShardedFleetPredictor, shard_boundaries
+
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    if ticks is None:
+        ticks = int(max(120, min(240, prof.n_steps // 4)))
+    window = prof.window
+    common = dict(
+        forecaster_name=model,
+        forecaster_kwargs=dict(model_kwargs or {}),
+        window=window,
+        buffer_capacity=2 * refit_interval + window,
+        refit_interval=refit_interval,
+        min_fit_size=2 * window,
+    )
+    if kill_tick is None:
+        # after warm-up (every stream predicting) but with room to recover
+        kill_tick = max(3 * window, ticks // 4)
+    if not 0 < kill_tick < ticks:
+        raise ValueError(f"kill_tick must be in (0, {ticks}), got {kill_tick}")
+    # NaN-free trace: every post-warm-up row is servable, so availability
+    # deficits are attributable to the crash alone
+    streams = make_fleet_streams(n_streams, ticks, prof.seed, nan_rate=0.0)
+    vlo, vhi = shard_boundaries(n_streams, shards)[0:2]
+    chaos = ChaosSchedule.kill_at(kill_tick, shard=0)
+    policy = RespawnPolicy(max_failures=3, backoff_ticks=1, failure_window=4 * ticks)
+
+    clean = ShardedFleetPredictor(
+        n_streams, shards, registry=MetricRegistry(), **common
+    )
+    try:
+        clean_preds, clean_actuals, _, _ = _drive(clean, streams, 0.0)
+    finally:
+        clean.close(collect_metrics=False)
+
+    def faulted_run(label: str, respawn) -> tuple[ChaosRunStats, np.ndarray]:
+        with tempfile.TemporaryDirectory(prefix="rptcn-chaos-") as ckpt_dir:
+            pred = ShardedFleetPredictor(
+                n_streams,
+                shards,
+                registry=MetricRegistry(),
+                chaos=chaos,
+                respawn=respawn,
+                checkpoint_dir=ckpt_dir,
+                checkpoint_interval=checkpoint_interval,
+                **common,
+            )
+            try:
+                preds, actuals, ttr_ticks, ttr_wall = _drive(
+                    pred, streams, tick_interval
+                )
+                respawns = pred.respawns
+                failures = pred.worker_failures
+                quarantined = list(pred.quarantined_shards)
+            finally:
+                pred.close(collect_metrics=False)
+        post = slice(kill_tick, ticks)
+        finite = int(np.isfinite(preds[post]).sum())
+        expected = int(np.isfinite(clean_preds[post]).sum())
+        went_nan = ~np.isfinite(preds[post, vlo:vhi]) & np.isfinite(
+            clean_preds[post, vlo:vhi]
+        )
+        outage_end = ticks if ttr_ticks is None else kill_tick + ttr_ticks
+        return (
+            ChaosRunStats(
+                label=label,
+                finite_rows=finite,
+                expected_rows=expected,
+                availability=finite / max(expected, 1),
+                nan_victim_rows=int(went_nan.sum()),
+                recovery_ticks=ttr_ticks,
+                time_to_recovery_s=ttr_wall,
+                outage_mae=_slice_mae(preds, actuals, kill_tick, outage_end, vlo, vhi),
+                respawns=respawns,
+                worker_failures=failures,
+                quarantined=quarantined,
+            ),
+            preds,
+        )
+
+    supervised, sup_preds = faulted_run("supervised", policy)
+    unsupervised, _ = faulted_run("unsupervised", None)
+
+    sup_outage_end = (
+        ticks if supervised.recovery_ticks is None
+        else kill_tick + supervised.recovery_ticks
+    )
+    result = ChaosResult(
+        model=model,
+        n_streams=n_streams,
+        shards=shards,
+        ticks=ticks,
+        kill_tick=kill_tick,
+        victim=(vlo, vhi),
+        checkpoint_interval=checkpoint_interval,
+        clean_outage_mae=_slice_mae(
+            clean_preds, clean_actuals, kill_tick, sup_outage_end, vlo, vhi
+        ),
+        supervised=supervised,
+        unsupervised=unsupervised,
+        survivors_bit_identical=bool(
+            np.array_equal(sup_preds[:, vhi:], clean_preds[:, vhi:], equal_nan=True)
+        ),
+    )
+    return result

@@ -44,6 +44,7 @@ from ..analysis.reporting import format_table, format_table2, render_ascii_serie
 from ..obs.export import write_snapshot
 from .accuracy import run_table2
 from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .chaos import run_chaos
 from .characterization import run_fig1, run_fig2, run_fig3, run_fig7
 from .config import PROFILES
 from .convergence import run_fig9, run_fig10
@@ -60,7 +61,9 @@ __all__ = ["main", "ExperimentError", "RunContext"]
 #: paper artifacts (always in --experiment all)
 EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10")
 #: extension harnesses (run individually, or via --experiment extensions)
-EXTENSIONS = ("horizon", "robustness", "generalization", "resilience", "fleet", "shard")
+EXTENSIONS = (
+    "horizon", "robustness", "generalization", "resilience", "fleet", "shard", "chaos",
+)
 
 
 class ExperimentError(RuntimeError):
@@ -274,6 +277,29 @@ def _print_shard(profile: str, ctx: RunContext) -> None:
     print(f"shards=1 bit-identical to FleetPredictor: {res.parity_shard1}")
 
 
+def _print_chaos(profile: str, ctx: RunContext) -> None:
+    res = run_chaos(profile, n_streams=64, shards=2, checkpoint_interval=8)
+
+    def fmt(st):
+        rec = "never" if st.recovery_ticks is None else f"{st.recovery_ticks}"
+        ttr = "-" if st.time_to_recovery_s is None else f"{st.time_to_recovery_s:.2f}"
+        mae = "-" if np.isnan(st.outage_mae) else f"{st.outage_mae * 100:.2f}"
+        return [st.label, f"{st.availability:.3f}", st.nan_victim_rows, rec, ttr,
+                mae, st.respawns, st.quarantined or "-"]
+
+    print(format_table(
+        ["run", "availability", "NaN victim rows", "recovery (ticks)",
+         "recovery (s)", "outage MAE(e-2)", "respawns", "quarantined"],
+        [fmt(res.supervised), fmt(res.unsupervised)],
+        title=f"Shard SIGKILL at tick {res.kill_tick}: supervised recovery vs "
+        f"terminal failure (N={res.n_streams}, shards={res.shards}, "
+        f"{res.ticks} ticks, ckpt every {res.checkpoint_interval})",
+    ))
+    print(f"clean-run MAE on victim slice over the outage window: "
+          f"{res.clean_outage_mae * 100:.2f}e-2")
+    print(f"survivors bit-identical to clean run: {res.survivors_bit_identical}")
+
+
 _RUNNERS = {
     "fig1": _print_fig1,
     "fig2": _print_fig2,
@@ -289,6 +315,7 @@ _RUNNERS = {
     "resilience": _print_resilience,
     "fleet": _print_fleet,
     "shard": _print_shard,
+    "chaos": _print_chaos,
 }
 
 

@@ -12,13 +12,28 @@ repairs corrupt records, refits run supervised with retry/backoff and a
 fallback forecaster, every prediction carries a health status, and the
 full serving state checkpoints to a crash-safe artifact. The
 :mod:`~repro.streaming.faults` harness injects stream and refit faults
-to exercise all of it.
+to exercise all of it. At fleet scale the sharded predictor adds
+process-level self-healing — deadline-based failure detection,
+supervised respawn with background checkpoint restore, a crash-loop
+breaker — driven reproducibly by a :class:`ChaosSchedule` of scheduled
+process faults.
 """
 
 from .buffer import MatrixRingBuffer, RollingBuffer
-from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
+from .checkpoint import (
+    CheckpointError,
+    read_checkpoint,
+    try_read_checkpoint,
+    write_checkpoint,
+)
 from .drift import DriftDetector, PageHinkley
-from .faults import FaultConfig, FaultInjector, InjectedFault
+from .faults import (
+    ChaosSchedule,
+    FaultConfig,
+    FaultInjector,
+    InjectedFault,
+    ProcessFault,
+)
 from .fleet import FleetPredictor, FleetTick
 from .online import OnlinePredictor, PredictionRecord
 from .resilience import (
@@ -31,7 +46,12 @@ from .resilience import (
     Supervisor,
     SupervisorPolicy,
 )
-from .shard import ShardedFleetPredictor, shard_boundaries
+from .shard import (
+    AllShardsFailedError,
+    RespawnPolicy,
+    ShardedFleetPredictor,
+    shard_boundaries,
+)
 from .shm import ShmArraySpec, ShmBlock, SharedMatrixRingBuffer, ring_specs
 
 __all__ = [
@@ -40,6 +60,8 @@ __all__ = [
     "FleetPredictor",
     "FleetTick",
     "ShardedFleetPredictor",
+    "RespawnPolicy",
+    "AllShardsFailedError",
     "shard_boundaries",
     "SharedMatrixRingBuffer",
     "ShmBlock",
@@ -60,7 +82,10 @@ __all__ = [
     "FaultConfig",
     "FaultInjector",
     "InjectedFault",
+    "ProcessFault",
+    "ChaosSchedule",
     "CheckpointError",
     "write_checkpoint",
     "read_checkpoint",
+    "try_read_checkpoint",
 ]

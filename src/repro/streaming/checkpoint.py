@@ -27,7 +27,7 @@ from typing import Any
 
 from ..ioutil import atomic_write_bytes
 
-__all__ = ["CheckpointError", "write_checkpoint", "read_checkpoint"]
+__all__ = ["CheckpointError", "write_checkpoint", "read_checkpoint", "try_read_checkpoint"]
 
 _MAGIC = b"RPTCNCKP"
 _VERSION = 1
@@ -74,3 +74,17 @@ def read_checkpoint(path: str | Path) -> Any:
         return pickle.loads(payload)
     except Exception as exc:  # pickle raises a zoo of types on bad input
         raise CheckpointError(f"checkpoint {path} payload failed to deserialize: {exc}") from exc
+
+
+def try_read_checkpoint(path: str | Path) -> Any | None:
+    """:func:`read_checkpoint`, but missing/corrupt artifacts return ``None``.
+
+    The recovery path wants exactly this shape: a respawned shard worker
+    restores from its background checkpoint when one is intact and cold-
+    starts when it is absent, truncated, or bit-rotted — a damaged
+    snapshot must degrade the restart, never abort it.
+    """
+    try:
+        return read_checkpoint(path)
+    except CheckpointError:
+        return None

@@ -12,6 +12,18 @@ fully deterministic given ``FaultConfig.seed``. Stream faults and refit
 faults draw from independent generators, so how often the predictor
 refits cannot change which records get corrupted — a property the
 checkpoint/restore equivalence tests rely on.
+
+A third fault family lives one level below the records: **process
+faults** against the sharded fleet's worker pool.
+:class:`ProcessFault` / :class:`ChaosSchedule` describe deterministic
+process-level injections keyed off the fleet tick counter — a scheduled
+``SIGKILL``, an indefinite hang, a slow tick, or a corrupted protocol
+reply — which
+:class:`~repro.streaming.shard.ShardedFleetPredictor` forwards to its
+workers so the supervision loop (detect → respawn → restore) can be
+exercised reproducibly. Because faults are keyed to exact tick indices
+and fleet steps never repeat, every fault fires at most once, even
+across worker respawns.
 """
 
 from __future__ import annotations
@@ -23,7 +35,16 @@ import numpy as np
 
 from ..traces.corruption import CorruptionConfig
 
-__all__ = ["InjectedFault", "FaultConfig", "FaultInjector"]
+__all__ = [
+    "InjectedFault",
+    "FaultConfig",
+    "FaultInjector",
+    "ProcessFault",
+    "ChaosSchedule",
+]
+
+#: process-fault kinds the shard worker loop understands
+PROCESS_FAULT_KINDS = ("kill", "hang", "slow", "corrupt")
 
 
 class InjectedFault(RuntimeError):
@@ -162,3 +183,99 @@ class FaultInjector:
         if self._refit_rng.random() < self.config.refit_failure_rate:
             self.counts["refit_faults"] += 1
             raise InjectedFault("injected refit failure")
+
+
+@dataclass(frozen=True)
+class ProcessFault:
+    """One scheduled process-level fault against a shard worker.
+
+    ``tick`` is the fleet step (``ShardedFleetPredictor``'s zero-based
+    tick counter) at which the fault fires, inside the worker, *before*
+    the tick is processed. Kinds:
+
+    * ``"kill"`` — the worker SIGKILLs itself: an abrupt crash with no
+      cleanup, the hardest failure the supervisor must survive;
+    * ``"hang"`` — the worker sleeps indefinitely without replying,
+      modelling a deadlock/livelock; only a tick deadline detects it;
+    * ``"slow"`` — the worker sleeps ``duration`` seconds, then serves
+      the tick normally: a straggler, not a failure;
+    * ``"corrupt"`` — the worker replies with a malformed protocol
+      message instead of the tick ack, modelling memory corruption or a
+      version-skewed worker.
+    """
+
+    tick: int
+    shard: int = 0
+    kind: str = "kill"
+    #: seconds to stall for ``"slow"`` faults (ignored by other kinds)
+    duration: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ValueError(f"tick must be >= 0, got {self.tick}")
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.kind not in PROCESS_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {PROCESS_FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+class ChaosSchedule:
+    """A deterministic, tick-indexed schedule of :class:`ProcessFault`\\ s.
+
+    The schedule is the whole chaos harness state: no randomness, no
+    clocks. Each worker receives only its own slice
+    (:meth:`for_shard`) at spawn time, so a respawned worker inherits
+    the same schedule and the step counter guarantees already-fired
+    faults never re-fire.
+    """
+
+    def __init__(self, faults: Iterable[ProcessFault]) -> None:
+        faults = tuple(faults)
+        seen: set[tuple[int, int]] = set()
+        for f in faults:
+            key = (f.tick, f.shard)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate fault at tick {f.tick} for shard {f.shard}"
+                )
+            seen.add(key)
+        self._faults = tuple(sorted(faults, key=lambda f: (f.tick, f.shard)))
+
+    @property
+    def faults(self) -> tuple[ProcessFault, ...]:
+        """All scheduled faults, ordered by ``(tick, shard)``."""
+        return self._faults
+
+    def for_shard(self, shard: int) -> dict[int, ProcessFault]:
+        """The ``tick -> fault`` map one worker needs; empty dict if none."""
+        return {f.tick: f for f in self._faults if f.shard == shard}
+
+    def max_shard(self) -> int:
+        """Highest shard index referenced, or ``-1`` for an empty schedule."""
+        return max((f.shard for f in self._faults), default=-1)
+
+    @classmethod
+    def kill_at(cls, tick: int, shard: int = 0) -> "ChaosSchedule":
+        """The canonical single-crash scenario: SIGKILL one shard once."""
+        return cls([ProcessFault(tick=tick, shard=shard, kind="kill")])
+
+    @classmethod
+    def crash_loop(cls, shard: int, start: int, until: int) -> "ChaosSchedule":
+        """Kill ``shard`` at every tick in ``[start, until)`` — the
+        crash-loop that must trip the supervisor's breaker."""
+        if until <= start:
+            raise ValueError(f"empty crash window [{start}, {until})")
+        return cls(
+            ProcessFault(tick=t, shard=shard, kind="kill")
+            for t in range(start, until)
+        )
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __repr__(self) -> str:
+        return f"ChaosSchedule({list(self._faults)!r})"

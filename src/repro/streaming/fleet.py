@@ -91,7 +91,7 @@ class FleetTick:
     errors: np.ndarray  #: (N,) float — NaN where no prediction was served
     refit: bool  #: a shared-model refit attempt ran this tick
     drift: np.ndarray  #: (N,) bool — stream's drift detector fired this tick
-    health: np.ndarray  #: (N,) uint8 — 0 healthy / 1 degraded / 2 fallback
+    health: np.ndarray  #: (N,) uint8 — 0 healthy / 1 degraded / 2 fallback / 3 recovering (sharded)
     gated: np.ndarray  #: (N,) int8 — gate action codes (accept/impute/quarantine)
 
     @property

@@ -44,7 +44,12 @@ from .drift import DriftDetector, PageHinkley
 from .resilience import GatePolicy, HealthStatus, InputGate, Supervisor, SupervisorPolicy
 
 #: numeric encoding of :class:`HealthStatus` for the health gauge
-_HEALTH_LEVEL = {HealthStatus.HEALTHY: 0, HealthStatus.DEGRADED: 1, HealthStatus.FALLBACK: 2}
+_HEALTH_LEVEL = {
+    HealthStatus.HEALTHY: 0,
+    HealthStatus.DEGRADED: 1,
+    HealthStatus.FALLBACK: 2,
+    HealthStatus.RECOVERING: 3,
+}
 
 __all__ = ["PredictionRecord", "OnlinePredictor"]
 

@@ -55,11 +55,15 @@ class HealthStatus(str, enum.Enum):
     predictions failed (the supervisor is retrying).
     ``FALLBACK`` — predictions come from the registered fallback
     forecaster because the primary is unusable.
+    ``RECOVERING`` — sharded serving only: the stream's shard worker is
+    down but supervised recovery (respawn + checkpoint restore) is in
+    progress; rows hold the last served prediction instead of NaN.
     """
 
     HEALTHY = "healthy"
     DEGRADED = "degraded"
     FALLBACK = "fallback"
+    RECOVERING = "recovering"
 
 
 # ---------------------------------------------------------------------------

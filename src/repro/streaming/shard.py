@@ -40,18 +40,47 @@ clock become *per-shard* (shard-local pooled refits) instead of
 fleet-global — the same trade the fleet made against the scalar
 predictor, one level up.
 
-**Fault isolation:** a worker that dies (crash, OOM-kill, ``SIGKILL``)
-takes only its own streams down. Its rows report NaN predictions with
-``health=2`` and a quarantine gate code from then on, the failure is
-counted in :meth:`stats` and the
-``serving_shard_worker_failures_total`` counter, and the surviving
-shards keep serving untouched ticks bit-identically.
+**Self-healing fault tolerance:** a worker that dies or wedges (crash,
+OOM-kill, ``SIGKILL``, deadlock) takes only its own streams down, and
+only until the supervisor brings it back. Every coordinator↔worker
+exchange observes a deadline (``tick_timeout`` on the hot path,
+``control_timeout`` on stats/save/load/metrics), so a *hung* worker is
+detected as surely as a dead one; a failed worker is escalated
+``terminate → kill`` so the old process can never race its replacement
+on the shm slice. The supervision loop then closes detect → respawn →
+restore:
+
+* workers snapshot their shard to disk **in the background** every
+  ``checkpoint_interval`` ticks (after acking the tick, so the barrier
+  never stalls on I/O), through the checksummed atomic writer in
+  :mod:`repro.streaming.checkpoint`;
+* a failed shard is respawned with exponential backoff
+  (:class:`RespawnPolicy`); the replacement re-attaches to the same shm
+  block, restores from its last intact background checkpoint (a
+  missing/corrupt one degrades to a cold start, never an abort), and
+  rejoins the barrier;
+* while a shard rebuilds, its rows **hold the last served prediction**
+  flagged ``health=3`` (``RECOVERING``) instead of going NaN — degraded
+  but available;
+* a shard that fails ``max_failures`` times inside ``failure_window``
+  ticks trips the crash-loop breaker into durable quarantine (NaN rows,
+  ``health=2``, never respawned); when *every* shard is quarantined,
+  :meth:`process_tick` raises :class:`AllShardsFailedError` instead of
+  silently serving an all-NaN fleet forever.
+
+The whole loop is deterministic enough to test: a
+:class:`~repro.streaming.faults.ChaosSchedule` handed to the
+constructor is forwarded to the workers, which kill/hang/slow/corrupt
+themselves at exact tick indices.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 import traceback as _traceback
+from dataclasses import dataclass
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Any
@@ -63,16 +92,33 @@ from ..obs.registry import Counter as MetricCounter
 from ..obs.registry import Gauge as MetricGauge
 from ..obs.registry import Histogram as MetricHistogram
 from ..obs.registry import MetricRegistry, get_registry, is_enabled, log_buckets
-from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
+from .checkpoint import (
+    CheckpointError,
+    read_checkpoint,
+    try_read_checkpoint,
+    write_checkpoint,
+)
+from .faults import ChaosSchedule, ProcessFault
 from .fleet import FleetPredictor, FleetTick
 from .resilience import GATE_QUARANTINE
 from .shm import ShmArraySpec, ShmBlock, SharedMatrixRingBuffer, ring_specs
 
-__all__ = ["ShardedFleetPredictor", "shard_boundaries"]
+__all__ = [
+    "ShardedFleetPredictor",
+    "RespawnPolicy",
+    "AllShardsFailedError",
+    "shard_boundaries",
+]
 
 #: gate action code and health level stamped on rows of a dead shard
 _DEAD_GATED = GATE_QUARANTINE
 _DEAD_HEALTH = 2
+#: health level stamped on rows whose shard is down but being recovered
+_RECOVERING_HEALTH = 3
+
+#: seconds the coordinator waits for the initial ready handshake — start-up
+#: pays interpreter spawn + imports, so it gets a deadline of its own
+_STARTUP_TIMEOUT = 120.0
 
 #: FleetPredictor constructor defaults the coordinator must mirror when a
 #: kwarg is left unset (config snapshots and shm sizing depend on them)
@@ -83,6 +129,41 @@ _FLEET_DEFAULTS = {
     "features": 1,
     "target_col": 0,
 }
+
+
+class AllShardsFailedError(RuntimeError):
+    """Every shard is quarantined — the fleet cannot serve a single row."""
+
+
+@dataclass(frozen=True)
+class RespawnPolicy:
+    """How the supervisor brings failed shard workers back.
+
+    A failed shard waits ``backoff_ticks`` fleet ticks before its first
+    respawn, doubling per consecutive failure up to
+    ``backoff_max_ticks``. The crash-loop breaker trips when
+    ``max_failures`` failures land within a sliding ``failure_window``
+    ticks: the shard is durably quarantined (NaN rows, never respawned)
+    so a poisoned checkpoint or bad input slice cannot burn CPU forever.
+    """
+
+    max_failures: int = 3
+    failure_window: int = 512
+    backoff_ticks: int = 2
+    backoff_max_ticks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_failures < 1:
+            raise ValueError(f"max_failures must be >= 1, got {self.max_failures}")
+        if self.failure_window < 1:
+            raise ValueError(f"failure_window must be >= 1, got {self.failure_window}")
+        if self.backoff_ticks < 0:
+            raise ValueError(f"backoff_ticks must be >= 0, got {self.backoff_ticks}")
+        if self.backoff_max_ticks < self.backoff_ticks:
+            raise ValueError(
+                f"backoff_max_ticks ({self.backoff_max_ticks}) must be >= "
+                f"backoff_ticks ({self.backoff_ticks})"
+            )
 
 
 def shard_boundaries(n_streams: int, shards: int) -> tuple[int, ...]:
@@ -116,22 +197,58 @@ def _shard_worker(
     lo: int,
     hi: int,
     fleet_kwargs: dict[str, Any],
+    restore_path: str | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_interval: int | None = None,
+    chaos: dict[int, ProcessFault] | None = None,
 ) -> None:
     """Worker loop: one persistent process serving streams ``[lo, hi)``.
 
     Runs in a spawned child with a clean interpreter. All per-tick data
     moves through the attached shm block; the pipe carries only control
     tokens and the rare state/metrics payloads.
+
+    ``restore_path`` (set on supervised respawn) is a best-effort
+    background checkpoint: intact → resume from it; missing/corrupt →
+    cold start with cleared ring cursors (the shm slice still holds the
+    dead predecessor's head/size, which must not leak into a fresh
+    predictor). ``chaos`` maps exact fleet steps to scheduled process
+    faults; the step counter in each tick token keys the lookup, so a
+    respawned worker never re-fires a fault the fleet already absorbed.
     """
-    try:
-        block = ShmBlock.attach(specs, shm_name)
+
+    def _fresh_predictor() -> FleetPredictor:
         predictor = FleetPredictor(hi - lo, **fleet_kwargs)
         # swap the private history ring for this shard's row-slice of the
         # fleet-wide shared ring: same semantics, zero-copy parent reads
         predictor.buffer = SharedMatrixRingBuffer.from_arrays(
             block["ring_data"][lo:hi], block["ring_head"][lo:hi], block["ring_size"][lo:hi]
         )
-        conn.send(("ready", lo, hi))
+        return predictor
+
+    try:
+        block = ShmBlock.attach(specs, shm_name)
+        predictor = _fresh_predictor()
+        restored_step: int | None = None
+        if restore_path is not None:
+            artifact = try_read_checkpoint(restore_path)
+            if (
+                isinstance(artifact, dict)
+                and artifact.get("kind") == "fleet_shard"
+                and artifact.get("lo") == lo
+                and artifact.get("hi") == hi
+            ):
+                try:
+                    predictor.load_state_dict(artifact["state"])
+                    restored_step = int(artifact["step"])
+                except Exception:  # noqa: BLE001 — damaged snapshot degrades to cold start
+                    predictor = _fresh_predictor()
+                    restored_step = None
+        if restored_step is None:
+            # cold start: the shm slice may hold a dead predecessor's ring
+            # cursors — reset them so history starts empty
+            predictor.buffer.clear()
+        conn.send(("ready", lo, hi, restored_step))
     except Exception as exc:  # noqa: BLE001 — startup failure must reach the parent
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}", _traceback.format_exc()))
@@ -141,6 +258,17 @@ def _shard_worker(
 
     from ..obs.registry import default_registry
 
+    c_ckpt = c_ckpt_fail = None
+    if checkpoint_path is not None and checkpoint_interval:
+        reg = default_registry()
+        c_ckpt = reg.counter(
+            "serving_shard_checkpoints_total", "background shard checkpoints written"
+        )
+        c_ckpt_fail = reg.counter(
+            "serving_shard_checkpoint_failures_total",
+            "background shard checkpoint writes that failed",
+        )
+
     while True:
         try:
             msg = conn.recv()
@@ -149,6 +277,22 @@ def _shard_worker(
         cmd = msg[0]
         try:
             if cmd == "tick":
+                step = int(msg[1]) if len(msg) > 1 else -1
+                fault = chaos.get(step) if chaos else None
+                if fault is not None:
+                    if fault.kind == "kill":
+                        # abrupt death, no cleanup — the hardest failure mode
+                        if hasattr(signal, "SIGKILL"):
+                            os.kill(os.getpid(), signal.SIGKILL)
+                        os._exit(1)
+                    if fault.kind == "hang":
+                        time.sleep(3600.0)
+                        continue
+                    if fault.kind == "corrupt":
+                        conn.send(("garbage", step, "chaos: corrupted tick reply"))
+                        continue
+                    if fault.kind == "slow":
+                        time.sleep(fault.duration)
                 tick = np.array(block["ticks_in"][lo:hi])
                 result = predictor.process_tick(tick)
                 block["predictions"][lo:hi] = result.predictions
@@ -158,7 +302,29 @@ def _shard_worker(
                 block["health"][lo:hi] = result.health
                 block["gated"][lo:hi] = result.gated
                 block["refit"][shard_index] = result.refit
-                conn.send(("ok",))
+                conn.send(("ok", step))
+                # background checkpoint AFTER the ack: the tick barrier never
+                # waits on serialization or disk
+                if (
+                    checkpoint_path is not None
+                    and checkpoint_interval
+                    and (step + 1) % checkpoint_interval == 0
+                ):
+                    try:
+                        write_checkpoint(
+                            checkpoint_path,
+                            {
+                                "kind": "fleet_shard",
+                                "shard": shard_index,
+                                "lo": lo,
+                                "hi": hi,
+                                "step": step,
+                                "state": predictor.state_dict(),
+                            },
+                        )
+                        c_ckpt.inc()
+                    except Exception:  # noqa: BLE001 — checkpoint failure must not kill serving
+                        c_ckpt_fail.inc()
             elif cmd == "state":
                 conn.send(("state", predictor.state_dict()))
             elif cmd == "load":
@@ -205,9 +371,28 @@ def _shard_worker(
 
 
 class _ShardHandle:
-    """Coordinator-side record of one worker: process, pipe, stream slice."""
+    """Coordinator-side record of one worker: process, pipe, slice, lifecycle.
 
-    __slots__ = ("index", "lo", "hi", "proc", "conn", "alive")
+    ``state`` is the supervision state machine:
+    ``live`` (serving) → ``down`` (failure detected, waiting out backoff)
+    → ``respawning`` (replacement spawned, ready not yet seen) → ``live``
+    again on restore, or → ``quarantined`` (breaker tripped, terminal).
+    ``close()`` stamps the terminal ``closed`` state.
+    """
+
+    __slots__ = (
+        "index",
+        "lo",
+        "hi",
+        "proc",
+        "conn",
+        "state",
+        "failed_step",
+        "failure_steps",
+        "consecutive_failures",
+        "next_respawn_step",
+        "restored_step",
+    )
 
     def __init__(self, index: int, lo: int, hi: int, proc: Any, conn: Any) -> None:
         self.index = index
@@ -215,11 +400,23 @@ class _ShardHandle:
         self.hi = hi
         self.proc = proc
         self.conn = conn
-        self.alive = True
+        self.state = "live"
+        #: fleet step at which the *current* outage began (None when live)
+        self.failed_step: int | None = None
+        #: recent failure steps inside the breaker window
+        self.failure_steps: list[int] = []
+        self.consecutive_failures = 0
+        self.next_respawn_step = 0
+        #: step of the checkpoint the current worker restored from (None = cold)
+        self.restored_step: int | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state == "live"
 
 
 class ShardedFleetPredictor:
-    """Drive N streams through ``shards`` persistent FleetPredictor workers.
+    """Drive N streams through ``shards`` supervised FleetPredictor workers.
 
     Parameters
     ----------
@@ -232,8 +429,28 @@ class ShardedFleetPredictor:
         single-process :class:`FleetPredictor`.
     tick_timeout:
         Seconds the coordinator waits for a worker's tick token before
-        declaring the shard failed (``None`` blocks until the pipe
-        closes — a killed worker still fails fast via EOF).
+        declaring the shard failed — this is what detects a *hung*
+        worker, not just a dead pipe (``None`` blocks until the pipe
+        closes — a killed worker still fails fast via EOF, but a
+        deadlocked one stalls the fleet).
+    control_timeout:
+        Deadline for the rare-path commands (``stats``/``save``/
+        ``load``/``metrics``); a worker that misses it is marked failed
+        the same way a tick timeout does.
+    respawn:
+        :class:`RespawnPolicy` for supervised recovery, or ``None`` to
+        disable the supervisor entirely — then any failure is terminal
+        (immediate quarantine, the pre-supervision behavior).
+    checkpoint_dir:
+        Directory for per-shard background checkpoints
+        (``shard-NNN.ckpt``). Enables background checkpointing; respawned
+        workers restore from the latest intact snapshot found here.
+    checkpoint_interval:
+        Background checkpoint cadence in fleet ticks (default 64 when
+        ``checkpoint_dir`` is set). Requires ``checkpoint_dir``.
+    chaos:
+        Optional :class:`~repro.streaming.faults.ChaosSchedule` of
+        process faults forwarded to the workers — test harness only.
     registry:
         Parent-side :class:`~repro.obs.MetricRegistry` for coordinator
         instruments and the worker metric merge at :meth:`close`.
@@ -241,7 +458,7 @@ class ShardedFleetPredictor:
         Every remaining keyword is forwarded verbatim to each worker's
         :class:`FleetPredictor` (``window``, ``refit_interval``,
         ``gate_policy``, ...). They must be picklable (they cross the
-        spawn boundary once, at start-up); ``refit_fault_hook`` is
+        spawn boundary once per worker start); ``refit_fault_hook`` is
         rejected — a live callable cannot cross process boundaries.
     """
 
@@ -250,7 +467,12 @@ class ShardedFleetPredictor:
         n_streams: int,
         shards: int = 2,
         *,
-        tick_timeout: float | None = None,
+        tick_timeout: float | None = 60.0,
+        control_timeout: float | None = 60.0,
+        respawn: RespawnPolicy | None = RespawnPolicy(),
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_interval: int | None = None,
+        chaos: ChaosSchedule | None = None,
         registry: MetricRegistry | None = None,
         **fleet_kwargs: Any,
     ) -> None:
@@ -261,10 +483,36 @@ class ShardedFleetPredictor:
                 raise ValueError(
                     f"{forbidden!r} cannot be passed through to shard workers"
                 )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        if checkpoint_interval is not None and checkpoint_dir is None:
+            raise ValueError("checkpoint_interval requires checkpoint_dir")
         self.n_streams = n_streams
         self.shards = shards
         self.boundaries = shard_boundaries(n_streams, shards)
         self.tick_timeout = tick_timeout
+        self.control_timeout = control_timeout
+        self.respawn = respawn
+        if chaos is not None and chaos.max_shard() >= shards:
+            raise ValueError(
+                f"chaos schedule references shard {chaos.max_shard()}, "
+                f"fleet has {shards}"
+            )
+        self.chaos = chaos
+        self._chaos_by_shard: list[dict[int, ProcessFault] | None] | None = None
+        if chaos is not None and len(chaos):
+            self._chaos_by_shard = [chaos.for_shard(i) or None for i in range(shards)]
+        if checkpoint_dir is not None:
+            self.checkpoint_dir: Path | None = Path(checkpoint_dir)
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            self.checkpoint_interval: int | None = (
+                64 if checkpoint_interval is None else int(checkpoint_interval)
+            )
+        else:
+            self.checkpoint_dir = None
+            self.checkpoint_interval = None
         self.fleet_kwargs = dict(fleet_kwargs)
         cfg = {**_FLEET_DEFAULTS, **self.fleet_kwargs}
         self.features = int(cfg["features"])
@@ -287,15 +535,43 @@ class ShardedFleetPredictor:
         )
         self._c_failures = MetricCounter(
             "serving_shard_worker_failures_total",
-            "shard workers declared dead by the coordinator",
+            "shard workers declared dead or hung by the coordinator",
         )
-        for inst in (self._h_latency, self._g_throughput, self._c_ticks, self._c_failures):
+        self._c_respawns = MetricCounter(
+            "serving_shard_respawns_total",
+            "shard workers respawned by the supervisor",
+        )
+        self._c_quarantines = MetricCounter(
+            "serving_shard_quarantines_total",
+            "shards durably quarantined by the crash-loop breaker",
+        )
+        self._h_recovery = MetricHistogram(
+            "serving_shard_recovery_ticks",
+            "fleet ticks from shard failure to a restored live worker",
+            buckets=log_buckets(1.0, 4096.0),
+        )
+        self._g_staleness = MetricGauge(
+            "serving_shard_staleness_ticks",
+            "worst-case held-prediction age across recovering shards (ticks)",
+        )
+        for inst in (
+            self._h_latency,
+            self._g_throughput,
+            self._c_ticks,
+            self._c_failures,
+            self._c_respawns,
+            self._c_quarantines,
+            self._h_recovery,
+            self._g_staleness,
+        ):
             self._registry.register(inst)
 
         self._step = 0
         self._closed = False
         self.worker_failures = 0
+        self.respawns = 0
         self.errors: list[str] = []
+        self._last_predictions = np.full(n_streams, np.nan)
 
         specs = _tick_specs(n_streams, self.features, shards) + ring_specs(
             n_streams, self.buffer_capacity, self.features
@@ -307,27 +583,26 @@ class ShardedFleetPredictor:
             self._block["ring_data"], self._block["ring_head"], self._block["ring_size"]
         )
 
-        ctx = get_context("spawn")
+        self._ctx = get_context("spawn")
         self._handles: list[_ShardHandle] = []
         try:
             for i in range(shards):
                 lo, hi = self.boundaries[i], self.boundaries[i + 1]
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_shard_worker,
-                    args=(child_conn, self._block.name, specs, i, lo, hi, self.fleet_kwargs),
-                    daemon=True,
-                    name=f"fleet-shard-{i}",
-                )
-                proc.start()
-                child_conn.close()
-                self._handles.append(_ShardHandle(i, lo, hi, proc, parent_conn))
+                proc, conn = self._spawn_worker(i, lo, hi, restore=False)
+                self._handles.append(_ShardHandle(i, lo, hi, proc, conn))
             for h in self._handles:
-                reply = h.conn.recv()
-                if reply[0] != "ready":
+                if not h.conn.poll(_STARTUP_TIMEOUT):
                     raise RuntimeError(
-                        f"shard {h.index} failed to start: {reply[1]}\n{reply[2]}"
+                        f"shard {h.index} did not report ready within "
+                        f"{_STARTUP_TIMEOUT}s"
                     )
+                reply = h.conn.recv()
+                if not (isinstance(reply, tuple) and reply and reply[0] == "ready"):
+                    detail = ""
+                    if isinstance(reply, tuple) and len(reply) >= 3:
+                        detail = f": {reply[1]}\n{reply[2]}"
+                    raise RuntimeError(f"shard {h.index} failed to start{detail}")
+                h.restored_step = reply[3] if len(reply) > 3 else None
         except Exception:
             self.close(collect_metrics=False)
             raise
@@ -346,15 +621,68 @@ class ShardedFleetPredictor:
         except Exception:  # noqa: BLE001
             pass
 
+    def _checkpoint_path(self, index: int) -> Path | None:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / f"shard-{index:03d}.ckpt"
+
+    def _spawn_worker(
+        self, index: int, lo: int, hi: int, restore: bool
+    ) -> tuple[Any, Any]:
+        """Start one worker process; returns ``(proc, parent_conn)``."""
+        ckpt = self._checkpoint_path(index)
+        restore_path = None
+        if restore and ckpt is not None and ckpt.exists():
+            restore_path = str(ckpt)
+        chaos = None
+        if self._chaos_by_shard is not None:
+            chaos = self._chaos_by_shard[index]
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(
+                child_conn,
+                self._block.name,
+                self._specs,
+                index,
+                lo,
+                hi,
+                self.fleet_kwargs,
+                restore_path,
+                str(ckpt) if ckpt is not None else None,
+                self.checkpoint_interval,
+                chaos,
+            ),
+            daemon=True,
+            name=f"fleet-shard-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
     @property
     def failed_shards(self) -> tuple[int, ...]:
-        """Indices of shards whose worker has been declared dead."""
-        return tuple(h.index for h in self._handles if not h.alive)
+        """Indices of shards whose worker is not currently live."""
+        return tuple(h.index for h in self._handles if h.state != "live")
+
+    @property
+    def recovering_shards(self) -> tuple[int, ...]:
+        """Shards that are down but still eligible for supervised recovery."""
+        return tuple(
+            h.index for h in self._handles if h.state in ("down", "respawning")
+        )
+
+    @property
+    def quarantined_shards(self) -> tuple[int, ...]:
+        """Shards the crash-loop breaker has durably taken out of service."""
+        return tuple(h.index for h in self._handles if h.state == "quarantined")
+
+    # -- failure handling / supervision -------------------------------------------
 
     def _mark_failed(self, handle: _ShardHandle, reason: str) -> None:
-        if not handle.alive:
+        if handle.state not in ("live", "respawning"):
             return
-        handle.alive = False
+        handle.state = "down"
         self.worker_failures += 1
         self._c_failures.inc()
         msg = f"shard {handle.index} (streams [{handle.lo}, {handle.hi})) failed: {reason}"
@@ -365,20 +693,106 @@ class ShardedFleetPredictor:
             handle.conn.close()
         except OSError:  # pragma: no cover
             pass
+        # escalate terminate → kill: a hung (e.g. stopped or deadlocked)
+        # worker ignores SIGTERM, and a half-dead worker left attached to
+        # the shm slice could race its replacement
         if handle.proc.is_alive():
             handle.proc.terminate()
-        handle.proc.join(timeout=5.0)
+            handle.proc.join(timeout=2.0)
+        if handle.proc.is_alive():
+            handle.proc.kill()
+            handle.proc.join(timeout=5.0)
+        if handle.failed_step is None:
+            handle.failed_step = self._step
+        handle.failure_steps.append(self._step)
+        policy = self.respawn
+        if policy is not None:
+            cutoff = self._step - policy.failure_window
+            handle.failure_steps = [s for s in handle.failure_steps if s > cutoff]
+        handle.consecutive_failures += 1
+        if policy is None or len(handle.failure_steps) >= policy.max_failures:
+            handle.state = "quarantined"
+            handle.failed_step = None
+            self._c_quarantines.inc()
+        else:
+            delay = min(
+                policy.backoff_ticks * 2 ** (handle.consecutive_failures - 1),
+                policy.backoff_max_ticks,
+            )
+            handle.next_respawn_step = self._step + delay
+
+    def _supervise(self) -> None:
+        """One supervision pass: respawn due shards, absorb ready workers.
+
+        Runs at the top of every :meth:`process_tick`; never blocks —
+        ready handshakes are polled with a zero timeout, so a shard that
+        is still importing numpy simply stays ``respawning`` (held rows)
+        for another tick.
+        """
+        if self.respawn is None:
+            return
+        for h in self._handles:
+            if h.state == "down" and self._step >= h.next_respawn_step:
+                h.state = "respawning"
+                self.respawns += 1
+                self._c_respawns.inc()
+                try:
+                    h.proc, h.conn = self._spawn_worker(
+                        h.index, h.lo, h.hi, restore=True
+                    )
+                except Exception as exc:  # noqa: BLE001 — spawn itself can fail
+                    self._mark_failed(h, f"respawn failed: {exc}")
+                    continue
+            if h.state == "respawning":
+                try:
+                    if not h.conn.poll(0):
+                        if not h.proc.is_alive():
+                            self._mark_failed(h, "worker died before reporting ready")
+                        continue
+                    reply = h.conn.recv()
+                except (EOFError, OSError) as exc:
+                    self._mark_failed(h, f"pipe closed during respawn ({exc})")
+                    continue
+                if not (isinstance(reply, tuple) and reply and reply[0] == "ready"):
+                    detail = (
+                        reply[1]
+                        if isinstance(reply, tuple) and len(reply) > 1
+                        else repr(reply)
+                    )
+                    self._mark_failed(h, f"respawn startup failed: {detail}")
+                    continue
+                h.restored_step = reply[3] if len(reply) > 3 else None
+                if h.failed_step is not None and is_enabled():
+                    self._h_recovery.observe(float(self._step - h.failed_step))
+                h.state = "live"
+                h.consecutive_failures = 0
+                h.failed_step = None
 
     def _live(self) -> list[_ShardHandle]:
         if self._closed:
             raise RuntimeError("ShardedFleetPredictor is closed")
-        return [h for h in self._handles if h.alive]
+        return [h for h in self._handles if h.state == "live"]
 
     # -- serving ----------------------------------------------------------------
 
     def process_tick(self, tick: np.ndarray) -> FleetTick:
-        """One fleet step across every live shard; dead shards yield NaN rows."""
-        live = self._live()
+        """One fleet step across every live shard.
+
+        Rows of a shard under supervised recovery hold the last served
+        prediction (``health=3``, RECOVERING); rows of a quarantined
+        shard are NaN (``health=2``). Raises :class:`AllShardsFailedError`
+        once every shard is quarantined.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedFleetPredictor is closed")
+        self._supervise()
+        live = [h for h in self._handles if h.state == "live"]
+        if not live and all(h.state == "quarantined" for h in self._handles):
+            recent = "; ".join(self.errors[-3:])
+            raise AllShardsFailedError(
+                f"all {self.shards} shards are quarantined after repeated "
+                f"failures — refusing to serve an all-NaN fleet (recent: {recent})"
+            )
         arr = np.asarray(tick, float)
         if arr.ndim == 1 and self.features == 1:
             arr = arr[:, None]
@@ -395,17 +809,26 @@ class ShardedFleetPredictor:
         dispatched: list[_ShardHandle] = []
         for h in live:
             try:
-                h.conn.send(("tick",))
+                h.conn.send(("tick", self._step))
                 dispatched.append(h)
             except (BrokenPipeError, OSError) as exc:
                 self._mark_failed(h, f"pipe closed on dispatch ({exc})")
         for h in dispatched:
             try:
                 if self.tick_timeout is not None and not h.conn.poll(self.tick_timeout):
-                    raise TimeoutError(f"no tick reply within {self.tick_timeout}s")
+                    kind = "hung" if h.proc.is_alive() else "dead"
+                    raise TimeoutError(
+                        f"no tick reply within {self.tick_timeout}s ({kind} worker)"
+                    )
                 reply = h.conn.recv()
-                if reply[0] != "ok":
-                    raise RuntimeError(f"tick errored in worker: {reply[1]}")
+                if not (isinstance(reply, tuple) and reply and reply[0] == "ok"):
+                    if isinstance(reply, tuple) and len(reply) > 1 and reply[0] == "error":
+                        raise RuntimeError(f"tick errored in worker: {reply[1]}")
+                    raise RuntimeError(f"corrupt tick reply: {reply!r}")
+                if len(reply) > 1 and reply[1] != self._step:
+                    raise RuntimeError(
+                        f"tick ack for step {reply[1]!r}, expected {self._step}"
+                    )
             except (EOFError, OSError, TimeoutError, RuntimeError) as exc:
                 self._mark_failed(h, str(exc))
 
@@ -415,24 +838,40 @@ class ShardedFleetPredictor:
         drift = np.array(block["drift"])
         health = np.array(block["health"])
         gated = np.array(block["gated"])
+        live_mask = np.zeros(self.n_streams, dtype=bool)
         refit = False
+        staleness = 0
         for h in self._handles:
-            if h.alive:
+            sl = slice(h.lo, h.hi)
+            if h.state == "live":
+                live_mask[sl] = True
                 refit = refit or bool(block["refit"][h.index])
-            else:
-                sl = slice(h.lo, h.hi)
+            elif h.state == "quarantined":
                 predictions[sl] = np.nan
                 errors[sl] = np.nan
                 actuals[sl] = arr[sl, self.target_col]
                 drift[sl] = False
                 health[sl] = _DEAD_HEALTH
                 gated[sl] = _DEAD_GATED
+            else:  # down / respawning — degraded mode: hold the last prediction
+                held = self._last_predictions[sl]
+                predictions[sl] = held
+                actuals[sl] = arr[sl, self.target_col]
+                errors[sl] = np.abs(held - actuals[sl])
+                drift[sl] = False
+                health[sl] = _RECOVERING_HEALTH
+                gated[sl] = _DEAD_GATED
+                if h.failed_step is not None:
+                    staleness = max(staleness, self._step - h.failed_step + 1)
+        upd = live_mask & np.isfinite(predictions)
+        self._last_predictions[upd] = predictions[upd]
 
         self._step += 1
         if is_enabled():
             elapsed = time.perf_counter() - t0
             self._h_latency.observe(elapsed)
             self._c_ticks.inc()
+            self._g_staleness.set(float(staleness))
             if elapsed > 0:
                 self._g_throughput.set(self.n_streams / elapsed)
         return FleetTick(
@@ -472,15 +911,43 @@ class ShardedFleetPredictor:
     # -- introspection -----------------------------------------------------------
 
     def _request(self, handle: _ShardHandle, command: tuple, expect: str) -> Any:
-        """Send one control command and return its payload (or mark failed)."""
+        """Send one control command and return its payload.
+
+        Every control exchange observes ``control_timeout``: a worker
+        that misses the deadline is classified hung/dead, escalated and
+        marked failed exactly like a tick timeout — no control path can
+        wedge the coordinator.
+        """
+        if handle.state != "live":
+            raise RuntimeError(
+                f"shard {handle.index} is {handle.state}; "
+                f"control command {command[0]!r} needs a live worker"
+            )
         try:
             handle.conn.send(command)
+            if self.control_timeout is not None and not handle.conn.poll(
+                self.control_timeout
+            ):
+                kind = "hung" if handle.proc.is_alive() else "dead"
+                self._mark_failed(
+                    handle,
+                    f"no {command[0]!r} reply within {self.control_timeout}s "
+                    f"({kind} worker)",
+                )
+                raise RuntimeError(
+                    f"shard {handle.index} did not reply to {command[0]!r} "
+                    f"within {self.control_timeout}s ({kind} worker)"
+                )
             reply = handle.conn.recv()
         except (BrokenPipeError, EOFError, OSError) as exc:
             self._mark_failed(handle, f"pipe closed during {command[0]!r} ({exc})")
             raise RuntimeError(
                 f"shard {handle.index} died during {command[0]!r}"
             ) from exc
+        if not isinstance(reply, tuple) or not reply:
+            raise RuntimeError(
+                f"shard {handle.index} sent corrupt reply to {command[0]!r}: {reply!r}"
+            )
         if reply[0] == "error":
             raise RuntimeError(f"shard {handle.index} {command[0]!r} failed: {reply[1]}")
         if reply[0] != expect:
@@ -495,13 +962,27 @@ class ShardedFleetPredictor:
         totals = {"n_predictions": 0, "sum_abs_error": 0.0, "n_refits": 0,
                   "n_refit_failures": 0, "n_drifts": 0, "n_quarantined": 0}
         for h in self._handles:
-            if not h.alive:
+            if h.state != "live":
                 per_shard.append(
-                    {"shard": h.index, "streams": h.hi - h.lo, "ok": False}
+                    {"shard": h.index, "streams": h.hi - h.lo, "ok": False,
+                     "state": h.state}
                 )
                 continue
-            payload = self._request(h, ("stats",), "stats")
-            payload = {"shard": h.index, "ok": True, **payload}
+            try:
+                payload = self._request(h, ("stats",), "stats")
+            except RuntimeError:
+                per_shard.append(
+                    {"shard": h.index, "streams": h.hi - h.lo, "ok": False,
+                     "state": h.state}
+                )
+                continue
+            payload = {
+                "shard": h.index,
+                "ok": True,
+                "state": "live",
+                "restored_step": h.restored_step,
+                **payload,
+            }
             per_shard.append(payload)
             for key in totals:
                 totals[key] += payload[key]
@@ -511,7 +992,10 @@ class ShardedFleetPredictor:
             "shards": self.shards,
             "step": self._step,
             "worker_failures": self.worker_failures,
+            "respawns": self.respawns,
             "failed_shards": list(self.failed_shards),
+            "recovering_shards": list(self.recovering_shards),
+            "quarantined_shards": list(self.quarantined_shards),
             "errors": list(self.errors),
             "fleet_mae": fleet_mae,
             **totals,
@@ -530,6 +1014,12 @@ class ShardedFleetPredictor:
             "buffer_capacity": self.buffer_capacity,
             "forecaster_name": self.forecaster_name,
             "tick_timeout": self.tick_timeout,
+            "control_timeout": self.control_timeout,
+            "respawn": self.respawn,
+            "checkpoint_dir": (
+                str(self.checkpoint_dir) if self.checkpoint_dir is not None else None
+            ),
+            "checkpoint_interval": self.checkpoint_interval,
             "fleet_kwargs": dict(self.fleet_kwargs),
         }
 
@@ -577,6 +1067,11 @@ class ShardedFleetPredictor:
                 f"forecaster={self.forecaster_name}, window={self.window}, "
                 f"features={self.features}, capacity={self.buffer_capacity})"
             )
+        if self.failed_shards:
+            raise CheckpointError(
+                f"cannot load a fleet snapshot with failed shards "
+                f"{list(self.failed_shards)}"
+            )
         shard_states = state["shard_states"]
         if len(shard_states) != self.shards:
             raise CheckpointError(
@@ -588,6 +1083,7 @@ class ShardedFleetPredictor:
             except RuntimeError as exc:
                 raise CheckpointError(str(exc)) from exc
         self._step = int(state["step"])
+        self._last_predictions[:] = np.nan
 
     @classmethod
     def restore(cls, path: str | Path, **overrides: Any) -> "ShardedFleetPredictor":
@@ -602,6 +1098,10 @@ class ShardedFleetPredictor:
         kwargs: dict[str, Any] = {
             "shards": cfg["shards"],
             "tick_timeout": cfg["tick_timeout"],
+            "control_timeout": cfg.get("control_timeout", 60.0),
+            "respawn": cfg.get("respawn", RespawnPolicy()),
+            "checkpoint_dir": cfg.get("checkpoint_dir"),
+            "checkpoint_interval": cfg.get("checkpoint_interval"),
             **cfg["fleet_kwargs"],
         }
         kwargs.update(overrides)
@@ -619,10 +1119,13 @@ class ShardedFleetPredictor:
         """Adopt one worker's metric series and revive its spans (once)."""
         try:
             handle.conn.send(("metrics",))
+            timeout = 30.0 if self.control_timeout is None else self.control_timeout
+            if not handle.conn.poll(timeout):
+                return
             reply = handle.conn.recv()
         except (BrokenPipeError, EOFError, OSError):
             return
-        if reply[0] != "metrics":
+        if not (isinstance(reply, tuple) and len(reply) == 3 and reply[0] == "metrics"):
             return
         _, series, spans = reply
         self._registry.adopt_series(series)
@@ -646,29 +1149,39 @@ class ShardedFleetPredictor:
             revive_span(span_data, tracer)
 
     def close(self, collect_metrics: bool = True) -> None:
-        """Stop every worker, merge their metrics, release the shm segment."""
+        """Stop every worker, merge their metrics, release the shm segment.
+
+        Live workers get a graceful stop (metrics harvest + ``stop``
+        token + bounded join); anything else — down, respawning,
+        quarantined — is escalated terminate → kill so close never
+        blocks on a worker that cannot answer.
+        """
         if self._closed:
             return
         self._closed = True
         for h in getattr(self, "_handles", []):
-            if not h.alive:
-                continue
-            if collect_metrics:
-                self._harvest_metrics(h)
-            try:
-                h.conn.send(("stop",))
-                if h.conn.poll(5.0):
-                    h.conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
-                pass
-            h.alive = False
+            graceful = h.state == "live"
+            if graceful:
+                if collect_metrics:
+                    self._harvest_metrics(h)
+                try:
+                    h.conn.send(("stop",))
+                    if h.conn.poll(5.0):
+                        h.conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            h.state = "closed"
             try:
                 h.conn.close()
             except OSError:  # pragma: no cover
                 pass
-            h.proc.join(timeout=5.0)
-            if h.proc.is_alive():  # pragma: no cover — hung worker
+            if graceful:
+                h.proc.join(timeout=5.0)
+            if h.proc.is_alive():
                 h.proc.terminate()
+                h.proc.join(timeout=2.0)
+            if h.proc.is_alive():  # pragma: no cover — worker ignoring SIGTERM
+                h.proc.kill()
                 h.proc.join(timeout=5.0)
         self._ring = None  # drop shm views before the owning block unmaps
         if getattr(self, "_block", None) is not None:

@@ -29,7 +29,12 @@ Ownership protocol: exactly one process *creates* a block (and its
 and only ever drops its own mapping. Attachers must be spawned children
 of the creator so that they share its resource-tracker process — then a
 dying (even ``SIGKILL``\\ ed) worker cannot destroy a segment the rest
-of the fleet is still using.
+of the fleet is still using. The segment therefore outlives any worker:
+a *respawned* shard worker simply re-attaches to the same block by name
+and inherits its predecessor's row-slice, including the ring cursors —
+which is why a cold-started replacement must
+:meth:`~repro.streaming.buffer.MatrixRingBuffer.clear` its slice before
+serving, while a checkpoint-restored one overwrites it in place.
 """
 
 from __future__ import annotations

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.streaming import FaultConfig, FaultInjector, InjectedFault
+from repro.streaming import (
+    ChaosSchedule,
+    FaultConfig,
+    FaultInjector,
+    InjectedFault,
+    ProcessFault,
+)
 
 
 def _records(n=500, features=1, seed=9):
@@ -125,3 +131,55 @@ class TestFaultInjector:
         assert cfg.drop_rate == pytest.approx(0.01)
         assert cfg.refit_failure_rate == pytest.approx(0.1)
         assert cfg.seed == 7
+
+
+class TestProcessFault:
+    def test_validation(self):
+        ProcessFault(tick=0, shard=0, kind="kill")  # minimal valid
+        with pytest.raises(ValueError, match="tick"):
+            ProcessFault(tick=-1)
+        with pytest.raises(ValueError, match="shard"):
+            ProcessFault(tick=0, shard=-1)
+        with pytest.raises(ValueError, match="kind"):
+            ProcessFault(tick=0, kind="explode")
+        with pytest.raises(ValueError, match="duration"):
+            ProcessFault(tick=0, kind="slow", duration=0.0)
+
+
+class TestChaosSchedule:
+    def test_sorted_and_sliced_per_shard(self):
+        sched = ChaosSchedule([
+            ProcessFault(tick=9, shard=1, kind="hang"),
+            ProcessFault(tick=3, shard=0, kind="kill"),
+            ProcessFault(tick=9, shard=0, kind="slow"),
+        ])
+        assert [(f.tick, f.shard) for f in sched.faults] == [(3, 0), (9, 0), (9, 1)]
+        assert len(sched) == 3
+        assert sched.max_shard() == 1
+        shard0 = sched.for_shard(0)
+        assert set(shard0) == {3, 9} and shard0[3].kind == "kill"
+        assert sched.for_shard(1)[9].kind == "hang"
+        assert sched.for_shard(2) == {}
+
+    def test_duplicate_tick_shard_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ChaosSchedule([
+                ProcessFault(tick=4, shard=0, kind="kill"),
+                ProcessFault(tick=4, shard=0, kind="hang"),
+            ])
+        # same tick on different shards is fine
+        ChaosSchedule([
+            ProcessFault(tick=4, shard=0, kind="kill"),
+            ProcessFault(tick=4, shard=1, kind="hang"),
+        ])
+
+    def test_kill_at_and_crash_loop(self):
+        one = ChaosSchedule.kill_at(12, shard=1)
+        assert len(one) == 1 and one.faults[0] == ProcessFault(12, 1, "kill")
+        loop = ChaosSchedule.crash_loop(0, start=5, until=8)
+        assert [f.tick for f in loop.faults] == [5, 6, 7]
+        assert all(f.kind == "kill" and f.shard == 0 for f in loop.faults)
+        assert loop.max_shard() == 0
+        assert ChaosSchedule([]).max_shard() == -1
+        with pytest.raises(ValueError, match="empty crash window"):
+            ChaosSchedule.crash_loop(0, start=8, until=8)

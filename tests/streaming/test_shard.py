@@ -18,6 +18,8 @@ import signal
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.registry import MetricRegistry
 from repro.streaming import (
@@ -71,6 +73,21 @@ class TestShardBoundaries:
             shard_boundaries(4, 0)
         with pytest.raises(ValueError):
             shard_boundaries(4, 5)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=1, max_value=5000).flatmap(
+        lambda n: st.tuples(st.just(n), st.integers(min_value=1, max_value=n))
+    ))
+    def test_partition_properties(self, n_and_shards):
+        """Any valid (n, shards): covers [0, n), contiguous, balanced within 1."""
+        n, shards = n_and_shards
+        bounds = shard_boundaries(n, shards)
+        assert len(bounds) == shards + 1
+        assert bounds[0] == 0 and bounds[-1] == n
+        sizes = np.diff(bounds)
+        assert (sizes >= 1).all()  # no empty shard
+        assert sizes.sum() == n  # covers every stream exactly once
+        assert sizes.max() - sizes.min() <= 1  # balanced within one stream
 
 
 class TestSingleShardParity:
@@ -158,8 +175,10 @@ class TestFaultIsolation:
         lo, hi = shard_boundaries(n, shards)[1], n
         mirror = FleetPredictor(hi - lo, registry=MetricRegistry(), **FLEET_KW)
         registry = MetricRegistry()
+        # respawn=None: supervision off — a failure is terminal quarantine,
+        # the pre-supervisor contract this test pins down
         sharded = ShardedFleetPredictor(n, shards=shards, registry=registry,
-                                        **FLEET_KW)
+                                        respawn=None, **FLEET_KW)
         try:
             for t in ticks[:12]:
                 got = sharded.process_tick(t)
