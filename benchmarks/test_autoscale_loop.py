@@ -1,0 +1,92 @@
+"""Closed-loop autoscaling snapshot (marker ``perf_smoke``) -> ``BENCH_cluster.json``.
+
+Runs the full :func:`~repro.experiments.autoscale.run_autoscale` policy
+grid — every autoscaling policy over the same job schedule(s) — times
+the whole closed loop, and records per-policy outcomes plus wall-clock
+into a ``cluster_loop`` entry. The headline acceptance gate rides along
+unconditionally: the calibrated predictive (quantile) policy must beat
+the reactive baseline on SLA-violation rate at equal-or-lower
+machine-ticks per completed job, and the oracle must dominate both.
+
+Wall-clock figures are machine-dependent; ``check_regression.py``
+compares them only across entries with matching ``cpu_affinity``
+(the ``machine_info()`` block embedded in every entry).
+
+    python -m pytest benchmarks/test_autoscale_loop.py -q
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.autoscale import run_autoscale
+
+from ._machine import machine_info
+
+#: policy whose victory over ``BASELINE`` the gate asserts
+CHALLENGER = "quantile"
+BASELINE = "reactive"
+
+
+@pytest.mark.perf_smoke
+def test_perf_smoke_autoscale_loop(profile):
+    """Quantile beats reactive on SLA at equal-or-lower cost; oracle dominates."""
+    t0 = time.perf_counter()
+    res = run_autoscale(profile)
+    wall = time.perf_counter() - t0
+
+    agg = {name: res.aggregated(name) for name in res.reports}
+    snapshot = {
+        "profile": res.profile,
+        "n_machines": res.n_machines,
+        "n_jobs": res.n_jobs,
+        "ticks": res.ticks,
+        "seeds": list(res.seeds),
+        "wall_seconds": round(wall, 4),
+        "gate_pass": res.gate_pass,
+        "policies": {
+            name: {
+                "sla_violation_rate": round(r.sla_violation_rate, 6),
+                "overload_rate": round(r.overload_rate, 6),
+                "mean_utilization": round(r.mean_utilization, 4),
+                "waste_frac": round(r.waste_frac, 4),
+                "stranded_frac": round(r.stranded_frac, 4),
+                "cost_per_job": round(r.cost_per_job(), 3),
+                "migrations": r.migrations,
+                "forecast_coverage": round(r.forecast_coverage, 3),
+            }
+            for name, r in agg.items()
+        },
+    }
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+    data = {"schema": "bench-cluster/v1", "entries": {}}
+    if path.exists():
+        data = json.loads(path.read_text())
+    label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
+    entry = data["entries"].setdefault(label, {})
+    entry.update(machine_info())
+    entry["cluster_loop"] = snapshot
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+    print()
+    print(res.table())
+
+    reactive, quantile = agg[BASELINE], agg[CHALLENGER]
+    oracle = agg["oracle"]
+    assert quantile.sla_violation_rate < reactive.sla_violation_rate, (
+        f"{CHALLENGER} SLA-violation rate {quantile.sla_violation_rate:.4%} is not "
+        f"below {BASELINE}'s {reactive.sla_violation_rate:.4%}"
+    )
+    assert quantile.cost_per_job() <= reactive.cost_per_job(), (
+        f"{CHALLENGER} cost/job {quantile.cost_per_job():.2f} exceeds "
+        f"{BASELINE}'s {reactive.cost_per_job():.2f}"
+    )
+    assert oracle.sla_violation_rate <= quantile.sla_violation_rate, (
+        f"oracle SLA {oracle.sla_violation_rate:.4%} worse than "
+        f"{CHALLENGER}'s {quantile.sla_violation_rate:.4%} — truth should dominate"
+    )
+    assert res.gate_pass

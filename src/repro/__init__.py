@@ -15,6 +15,7 @@ __version__ = "1.0.0"
 from . import (  # noqa: E402  (re-exported subpackages)
     allocation,
     analysis,
+    cluster,
     data,
     experiments,
     models,
@@ -37,5 +38,6 @@ __all__ = [
     "allocation",
     "scheduling",
     "streaming",
+    "cluster",
     "obs",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "StaticAllocator",
     "ReactiveAllocator",
     "PredictiveAllocator",
+    "QuantileAllocator",
     "OracleAllocator",
 ]
 
@@ -110,22 +111,45 @@ class QuantileAllocator(Allocator):
     Instead of mean-forecast + ad-hoc headroom, reserve the ``tau``
     quantile of the demand distribution: the violation probability is
     then ``1 - tau`` by construction (to the extent the quantile model is
-    calibrated). Works with any forecaster exposing ``predict_quantile``.
+    calibrated). The quantile vector can come from two places:
+
+    * a forecaster exposing ``predict_quantile(x, tau)`` passed at
+      construction — the allocator computes the vector itself; or
+    * a precomputed per-step ``quantiles`` vector passed straight to
+      :meth:`reserve` — how the closed-loop cluster autoscaler drives it,
+      with fleet-served point forecasts plus per-stream residual-quantile
+      headrooms (:meth:`repro.streaming.fleet._FleetStats.error_quantiles`).
     """
 
     name = "quantile"
 
-    def __init__(self, forecaster, tau: float = 0.95) -> None:
+    def __init__(self, forecaster=None, tau: float = 0.95) -> None:
         super().__init__(headroom=0.0)
-        if not hasattr(forecaster, "predict_quantile"):
-            raise TypeError("forecaster must expose predict_quantile(x, tau)")
-        if not getattr(forecaster, "fitted", False):
-            raise ValueError("forecaster must be fitted before allocation")
+        if not 0.0 < tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {tau}")
+        if forecaster is not None:
+            if not hasattr(forecaster, "predict_quantile"):
+                raise TypeError("forecaster must expose predict_quantile(x, tau)")
+            if not getattr(forecaster, "fitted", False):
+                raise ValueError("forecaster must be fitted before allocation")
         self.forecaster = forecaster
         self.tau = tau
         self.name = f"quantile[q{int(tau * 100)}]"
 
-    def reserve(self, windows: np.ndarray, future: np.ndarray) -> np.ndarray:
+    def reserve(
+        self,
+        windows: np.ndarray,
+        future: np.ndarray,
+        quantiles: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if quantiles is not None:
+            quantiles = np.asarray(quantiles, float).reshape(-1)
+            return self._clip(quantiles)
+        if self.forecaster is None:
+            raise ValueError(
+                "QuantileAllocator without a forecaster needs an explicit "
+                "quantiles vector"
+            )
         return self._clip(self.forecaster.predict_quantile(windows, self.tau))
 
 

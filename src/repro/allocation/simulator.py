@@ -4,6 +4,12 @@ Replays a test split of utilization windows against an allocation policy
 and scores the outcome on the two failure modes the paper's §I names:
 "idle resources due to over-allocation of resources and degraded
 workloads performance due to under-allocation of resources".
+
+.. deprecated:: the excess/slack arithmetic formerly hand-rolled here
+   now lives in :func:`repro.cluster.replay.excess_stats`, shared with
+   the scheduling replay and the closed-loop cluster simulator. This
+   module remains the public entry point for open-loop allocation
+   replay; new harnesses should build on the cluster primitives.
 """
 
 from __future__ import annotations
@@ -12,9 +18,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..cluster.replay import EXCESS_EPS, ExcessStats, excess_stats
 from .allocator import Allocator
 
-__all__ = ["AllocationReport", "simulate_allocation"]
+__all__ = [
+    "AllocationReport",
+    "simulate_allocation",
+    # re-exported shared primitives (historically defined here)
+    "EXCESS_EPS",
+    "ExcessStats",
+    "excess_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -74,15 +88,13 @@ def simulate_allocation(
             f"policy returned shape {reservations.shape}, expected {future.shape}"
         )
 
-    over = np.maximum(reservations - future, 0.0)
-    under = np.maximum(future - reservations, 0.0)
-    violations = under > 1e-12
+    stats = excess_stats(demand=future, supply=reservations)
 
     return AllocationReport(
         policy=allocator.name,
-        n_intervals=len(future),
-        mean_overprovision=float(over.mean()),
-        violation_rate=float(violations.mean()),
-        mean_violation_depth=float(under[violations].mean()) if violations.any() else 0.0,
+        n_intervals=stats.n_samples,
+        mean_overprovision=stats.mean_slack,
+        violation_rate=stats.rate,
+        mean_violation_depth=stats.mean_depth,
         mean_reservation=float(reservations.mean()),
     )

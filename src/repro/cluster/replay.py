@@ -1,0 +1,70 @@
+"""Shared demand-vs-supply replay primitives.
+
+Every replay harness in this repo ultimately scores the same two failure
+modes the paper's §I names — idle capacity from over-supply and degraded
+workloads from under-supply. Before the closed-loop cluster simulator
+existed, :mod:`repro.allocation.simulator` and
+:mod:`repro.scheduling.simulator` each hand-rolled the excess/slack
+arithmetic; this module is the single home both (and the cluster loop)
+now share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ExcessStats", "excess_stats"]
+
+#: excess below this is float noise, not a breach (matches the historical
+#: thresholds of both replay simulators)
+EXCESS_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ExcessStats:
+    """How demand compared to supply over a set of samples.
+
+    The same statistics read as *violation/over-provision* when supply is
+    a reservation (allocation replay), as *overload/stranding* when
+    supply is a machine capacity (scheduling replay), and as both at
+    once in the cluster loop.
+    """
+
+    #: samples scored
+    n_samples: int
+    #: fraction of samples where demand exceeded supply
+    rate: float
+    #: mean unmet demand during exceeding samples (breach severity)
+    mean_depth: float
+    #: mean supplied-but-unused capacity (the waste side)
+    mean_slack: float
+    #: mean demand actually servable, ``mean(min(demand, supply))``
+    mean_served: float
+    #: largest demand observed in any sample
+    peak_demand: float
+
+
+def excess_stats(demand: np.ndarray, supply: np.ndarray | float) -> ExcessStats:
+    """Score ``demand`` against ``supply`` elementwise (broadcastable).
+
+    ``demand`` may be any shape — per-interval reservations score a
+    ``(N,)`` vector, a placement replay scores a ``(machines, steps)``
+    load matrix against a scalar capacity; the statistics are taken over
+    all elements either way.
+    """
+    demand = np.asarray(demand, float)
+    supply = np.asarray(supply, float)
+    if demand.size == 0:
+        raise ValueError("cannot score an empty demand sample")
+    excess = np.maximum(demand - supply, 0.0)
+    exceeded = excess > EXCESS_EPS
+    return ExcessStats(
+        n_samples=int(demand.size),
+        rate=float(exceeded.mean()),
+        mean_depth=float(excess[exceeded].mean()) if exceeded.any() else 0.0,
+        mean_slack=float(np.maximum(supply - demand, 0.0).mean()),
+        mean_served=float(np.minimum(demand, supply).mean()),
+        peak_demand=float(demand.max()),
+    )

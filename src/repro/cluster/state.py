@@ -1,0 +1,263 @@
+"""Vectorized machine/job state for the closed-loop cluster simulator.
+
+One :class:`ClusterState` tracks a fixed pool of machines and the whole
+population of jobs that will ever visit the cluster. Job-side state
+(placement, reservation, liveness) and machine-side state (reserved
+capacity, job counts) live in flat NumPy arrays so that every per-tick
+operation the simulator needs — resizing all reservations, summing true
+demand per machine, finding overcommitted machines — is one vectorized
+pass, never a Python loop over jobs.
+
+Placement decisions (admission, rebalancing migrations, consolidation
+drains) are loops over the handful of jobs that actually move in a tick,
+each step backed by vectorized candidate selection over machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ClusterState"]
+
+#: slack below this is float noise when testing fit/overcommit
+_FIT_EPS = 1e-9
+
+
+class ClusterState:
+    """Machines hosting jobs, with per-job reservations, in flat arrays.
+
+    Parameters
+    ----------
+    n_machines:
+        Fixed machine pool size; machines are never added, only powered
+        on (first job placed) and off (last job leaves).
+    n_jobs:
+        Total jobs that will ever exist. Job indices are stable for the
+        lifetime of the state; inactive slots (not yet admitted, or
+        departed) hold placement ``-1`` and reservation ``0``.
+    capacity:
+        Normalized cores per machine (uniform fleet, as in the paper's
+        per-machine utilization framing).
+    """
+
+    def __init__(self, n_machines: int, n_jobs: int, capacity: float = 1.0) -> None:
+        if n_machines < 1 or n_jobs < 1:
+            raise ValueError(
+                f"n_machines and n_jobs must be >= 1, got {n_machines}, {n_jobs}"
+            )
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.n_machines = n_machines
+        self.n_jobs = n_jobs
+        self.capacity = float(capacity)
+        #: per-machine sum of hosted reservations
+        self.reserved = np.zeros(n_machines)
+        #: per-machine count of hosted jobs (``> 0`` means powered on)
+        self.jobs_on = np.zeros(n_machines, dtype=np.int64)
+        #: per-job machine index, -1 while inactive
+        self.placement = np.full(n_jobs, -1, dtype=np.int64)
+        #: per-job current reservation (0 while inactive)
+        self.reservation = np.zeros(n_jobs)
+        #: per-job liveness mask
+        self.active = np.zeros(n_jobs, dtype=bool)
+        #: cumulative job moves after admission (rebalance + consolidation)
+        self.n_migrations = 0
+        #: admissions that found no machine with room and were force-placed
+        self.n_forced_placements = 0
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def free(self) -> np.ndarray:
+        """Per-machine unreserved capacity (negative when overcommitted)."""
+        return self.capacity - self.reserved
+
+    @property
+    def n_active(self) -> int:
+        return int(self.active.sum())
+
+    @property
+    def powered_on(self) -> np.ndarray:
+        """Mask of machines currently hosting at least one job."""
+        return self.jobs_on > 0
+
+    def machine_demand(self, usage: np.ndarray) -> np.ndarray:
+        """Sum per-job true ``usage`` onto machines (inactive jobs ignored)."""
+        usage = np.asarray(usage, float)
+        if usage.shape != (self.n_jobs,):
+            raise ValueError(f"usage must be ({self.n_jobs},), got {usage.shape}")
+        idx = np.flatnonzero(self.active)
+        return np.bincount(
+            self.placement[idx], weights=usage[idx], minlength=self.n_machines
+        )
+
+    def jobs_on_machine(self, machine: int) -> np.ndarray:
+        """Indices of the active jobs hosted by ``machine``."""
+        return np.flatnonzero(self.active & (self.placement == machine))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def admit(self, job: int, reservation: float) -> int:
+        """Place a new job best-fit by its reservation; returns the machine.
+
+        Best-fit (tightest machine that still fits) keeps free capacity
+        concentrated, which is what lets consolidation power machines
+        off. When nothing fits, the job is force-placed on the machine
+        with the most free capacity — the cluster is full and the
+        overcommit risk is the accounted consequence.
+        """
+        if self.active[job]:
+            raise ValueError(f"job {job} is already active")
+        if reservation <= 0:
+            raise ValueError(f"reservation must be positive, got {reservation}")
+        free = self.free
+        fits = free >= reservation - _FIT_EPS
+        if fits.any():
+            candidates = np.flatnonzero(fits)
+            machine = int(candidates[np.argmin(free[candidates])])
+        else:
+            machine = int(np.argmax(free))
+            self.n_forced_placements += 1
+        self.active[job] = True
+        self.placement[job] = machine
+        self.reservation[job] = reservation
+        self.reserved[machine] += reservation
+        self.jobs_on[machine] += 1
+        return machine
+
+    def depart(self, job: int) -> None:
+        """Remove a finished job and release its reservation."""
+        if not self.active[job]:
+            raise ValueError(f"job {job} is not active")
+        machine = int(self.placement[job])
+        self.reserved[machine] -= self.reservation[job]
+        self.jobs_on[machine] -= 1
+        if self.jobs_on[machine] == 0:
+            self.reserved[machine] = 0.0  # flush accumulated float dust
+        self.active[job] = False
+        self.placement[job] = -1
+        self.reservation[job] = 0.0
+
+    def resize(self, jobs: np.ndarray, reservations: np.ndarray) -> None:
+        """Set new reservations for active jobs in one vectorized pass."""
+        jobs = np.asarray(jobs, dtype=np.int64)
+        reservations = np.asarray(reservations, float)
+        if jobs.size == 0:
+            return
+        if not self.active[jobs].all():
+            raise ValueError("resize targets must all be active jobs")
+        if (reservations <= 0).any():
+            raise ValueError("reservations must be positive")
+        delta = reservations - self.reservation[jobs]
+        self.reservation[jobs] = reservations
+        np.add.at(self.reserved, self.placement[jobs], delta)
+
+    # -- placement maintenance -------------------------------------------------
+
+    def _best_fit(self, reservation: float, exclude: int) -> int | None:
+        """Tightest machine (other than ``exclude``) with room, or None."""
+        free = self.free
+        fits = free >= reservation - _FIT_EPS
+        fits[exclude] = False
+        if not fits.any():
+            return None
+        candidates = np.flatnonzero(fits)
+        return int(candidates[np.argmin(free[candidates])])
+
+    def _move(self, job: int, target: int) -> None:
+        source = int(self.placement[job])
+        res = self.reservation[job]
+        self.reserved[source] -= res
+        self.jobs_on[source] -= 1
+        if self.jobs_on[source] == 0:
+            self.reserved[source] = 0.0
+        self.reserved[target] += res
+        self.jobs_on[target] += 1
+        self.placement[job] = target
+        self.n_migrations += 1
+
+    def rebalance(self) -> int:
+        """Migrate jobs off overcommitted machines; returns moves made.
+
+        Reservation resizes can push a machine's committed total past
+        its capacity. Largest-reservation-first eviction clears the
+        excess in the fewest moves; a machine that cannot be cleared
+        (cluster-wide shortage) stays overcommitted and the overload risk
+        shows up in the report instead.
+        """
+        moves = 0
+        for machine in np.flatnonzero(self.reserved > self.capacity + _FIT_EPS):
+            machine = int(machine)
+            hosted = self.jobs_on_machine(machine)
+            # big movers first: each move sheds the most excess
+            for job in hosted[np.argsort(-self.reservation[hosted], kind="stable")]:
+                if self.reserved[machine] <= self.capacity + _FIT_EPS:
+                    break
+                target = self._best_fit(self.reservation[job], exclude=machine)
+                if target is not None:
+                    self._move(int(job), target)
+                    moves += 1
+        return moves
+
+    def consolidate(self, max_drains: int = 1) -> int:
+        """Try to power off the emptiest machines; returns moves made.
+
+        A drain relocates *every* job of the least-reserved powered-on
+        machine into other machines' free space (best-fit). Partial
+        drains are never committed — they would cost migrations without
+        saving a machine. ``max_drains`` bounds the churn per tick.
+        """
+        moves = 0
+        for _ in range(max_drains):
+            on = np.flatnonzero(self.powered_on)
+            if on.size <= 1:
+                break
+            source = int(on[np.argmin(self.reserved[on])])
+            hosted = self.jobs_on_machine(source)
+            # feasibility dry-run against a copy of the free vector;
+            # only powered-on targets count — draining into a cold machine
+            # saves nothing and ping-pongs jobs between empty machines
+            free = self.free.copy()
+            free[~self.powered_on] = -np.inf
+            free[source] = -np.inf  # never "relocate" onto the source
+            plan: list[tuple[int, int]] = []
+            feasible = True
+            for job in hosted[np.argsort(-self.reservation[hosted], kind="stable")]:
+                res = self.reservation[job]
+                fits = free >= res - _FIT_EPS
+                if not fits.any():
+                    feasible = False
+                    break
+                candidates = np.flatnonzero(fits)
+                target = int(candidates[np.argmin(free[candidates])])
+                free[target] -= res
+                plan.append((int(job), target))
+            if not feasible:
+                break  # every other powered-on machine is at least as full
+            for job, target in plan:
+                self._move(job, target)
+            moves += len(plan)
+        return moves
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the redundant state views disagree.
+
+        Used by the conservation tests (and cheap enough to call inside
+        debug runs): machine aggregates must equal what a from-scratch
+        recount of the job arrays produces, and no active job may be
+        unplaced or placed out of range.
+        """
+        idx = np.flatnonzero(self.active)
+        assert (self.placement[idx] >= 0).all(), "active job without a machine"
+        assert (self.placement[idx] < self.n_machines).all(), "placement out of range"
+        assert (self.placement[~self.active] == -1).all(), "inactive job still placed"
+        recount = np.bincount(self.placement[idx], minlength=self.n_machines)
+        assert (recount == self.jobs_on).all(), "jobs_on disagrees with placements"
+        resum = np.bincount(
+            self.placement[idx], weights=self.reservation[idx], minlength=self.n_machines
+        )
+        np.testing.assert_allclose(
+            resum, self.reserved, atol=1e-9, err_msg="reserved disagrees with reservations"
+        )

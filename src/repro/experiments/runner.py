@@ -43,6 +43,7 @@ import numpy as np
 from ..analysis.reporting import format_table, format_table2, render_ascii_series
 from ..obs.export import write_snapshot
 from .accuracy import run_table2
+from .autoscale import run_autoscale
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .chaos import run_chaos
 from .characterization import run_fig1, run_fig2, run_fig3, run_fig7
@@ -63,6 +64,7 @@ EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10"
 #: extension harnesses (run individually, or via --experiment extensions)
 EXTENSIONS = (
     "horizon", "robustness", "generalization", "resilience", "fleet", "shard", "chaos",
+    "autoscale",
 )
 
 
@@ -300,6 +302,16 @@ def _print_chaos(profile: str, ctx: RunContext) -> None:
     print(f"survivors bit-identical to clean run: {res.survivors_bit_identical}")
 
 
+def _print_autoscale(profile: str, ctx: RunContext) -> None:
+    res = run_autoscale(profile, jobs=ctx.jobs, cache=ctx.cache)
+    print(res.table())
+    print(
+        f"cluster: {res.n_machines} machines, {res.n_jobs} jobs, "
+        f"{res.ticks} ticks, seeds {list(res.seeds)}"
+    )
+    print(f"calibrated predictive beats reactive (SLA down, cost <=): {res.gate_pass}")
+
+
 _RUNNERS = {
     "fig1": _print_fig1,
     "fig2": _print_fig2,
@@ -316,6 +328,7 @@ _RUNNERS = {
     "fleet": _print_fleet,
     "shard": _print_shard,
     "chaos": _print_chaos,
+    "autoscale": _print_autoscale,
 }
 
 

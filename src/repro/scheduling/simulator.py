@@ -4,6 +4,12 @@ For each time step, each machine's load is the sum of its hosted jobs'
 actual usage. The report scores the trade-off the paper's §II describes:
 fewer machines (higher utilization) versus overload intervals where
 co-located demand exceeds capacity (the interference/QoS risk).
+
+.. deprecated:: the overload/utilization arithmetic formerly hand-rolled
+   here now lives in :func:`repro.cluster.replay.excess_stats`, shared
+   with the allocation replay and the closed-loop cluster simulator.
+   This module remains the public entry point for open-loop placement
+   replay; new harnesses should build on the cluster primitives.
 """
 
 from __future__ import annotations
@@ -12,10 +18,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..cluster.replay import EXCESS_EPS, ExcessStats, excess_stats
 from .jobs import Job
 from .scheduler import Scheduler
 
-__all__ = ["ScheduleReport", "simulate_schedule"]
+__all__ = [
+    "ScheduleReport",
+    "simulate_schedule",
+    # re-exported shared primitives (historically defined here)
+    "EXCESS_EPS",
+    "ExcessStats",
+    "excess_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -59,15 +73,14 @@ def simulate_schedule(
     for job in jobs:
         load[assignment[job.job_id]] += job.usage
 
-    over = np.maximum(load - capacity, 0.0)
-    overloaded = over > 1e-12
+    stats = excess_stats(demand=load, supply=capacity)
 
     return ScheduleReport(
         policy=scheduler.name,
         n_jobs=len(jobs),
         n_machines=n_machines,
-        mean_utilization=float(np.minimum(load, capacity).mean() / capacity),
-        overload_rate=float(overloaded.mean()),
-        mean_overload_depth=float(over[overloaded].mean()) if overloaded.any() else 0.0,
-        peak_load=float(load.max()),
+        mean_utilization=stats.mean_served / capacity,
+        overload_rate=stats.rate,
+        mean_overload_depth=stats.mean_depth,
+        peak_load=stats.peak_demand,
     )

@@ -221,6 +221,19 @@ class MatrixRingBuffer:
             return self._data[stream, :size].copy()
         return np.roll(self._data[stream], -head, axis=0).copy()
 
+    def filled_matrix(self) -> np.ndarray:
+        """The raw ring with never-written slots masked to NaN (copy).
+
+        Rows are **not** chronologically ordered — this is for
+        order-insensitive reductions (quantiles, means) over every
+        stream's retained history in one vectorized pass. A stream that
+        has not wrapped has written exactly slots ``[0, size)``; a
+        wrapped stream has written all of them.
+        """
+        out = self._data.copy()
+        out[np.arange(self.capacity)[None, :] >= self._size[:, None]] = np.nan
+        return out
+
     def clear(self) -> None:
         self._head[:] = 0
         self._size[:] = 0

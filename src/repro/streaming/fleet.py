@@ -243,6 +243,28 @@ class _FleetStats:
         """The retained error history of one stream, oldest first."""
         return self.errors.view(stream)[:, 0]
 
+    def error_quantiles(self, tau: float, min_count: int = 1) -> np.ndarray:
+        """Per-stream ``tau``-quantile of the retained |error| history.
+
+        One vectorized nanquantile over the whole fleet's error ring;
+        NaN for streams that have scored fewer than ``min_count``
+        predictions — a tail quantile of a handful of (possibly lucky)
+        errors is an uncalibrated band, and consumers treat NaN as
+        "fall back to your fixed margin". This is the empirical residual
+        band that risk-aware consumers (the cluster autoscaler's quantile
+        policy) reserve on top of a point forecast.
+        """
+        if not 0.0 < tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {tau}")
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        out = np.full(self.streams, np.nan)
+        idx = np.flatnonzero(self.errors.sizes >= min_count)
+        if idx.size:
+            retained = self.errors.filled_matrix()[idx, :, 0]
+            out[idx] = np.nanquantile(retained, tau, axis=1)
+        return out
+
     def state_dict(self) -> dict:
         state = {name: getattr(self, name).copy() for name in self._ARRAYS}
         state["sum_abs_error"] = self.sum_abs_error.copy()

@@ -6,6 +6,7 @@ import pytest
 from repro.allocation import (
     OracleAllocator,
     PredictiveAllocator,
+    QuantileAllocator,
     ReactiveAllocator,
     StaticAllocator,
     simulate_allocation,
@@ -60,6 +61,34 @@ class TestPolicies:
     def test_headroom_validation(self):
         with pytest.raises(ValueError):
             ReactiveAllocator(headroom=-0.1)
+
+
+class TestQuantileAllocator:
+    def test_explicit_vector_path_clips_to_unit_range(self):
+        """The cluster autoscaler's route: a precomputed quantile vector."""
+        alloc = QuantileAllocator(tau=0.95)
+        res = alloc.reserve(None, None, quantiles=np.array([-0.1, 0.4, 1.7]))
+        np.testing.assert_allclose(res, [0.0, 0.4, 1.0])
+
+    def test_vector_path_preserves_nan_staleness(self):
+        """NaN entries pass through — the caller's stale-slot signal."""
+        alloc = QuantileAllocator(tau=0.95)
+        res = alloc.reserve(None, None, quantiles=np.array([np.nan, 0.5]))
+        assert np.isnan(res[0]) and res[1] == pytest.approx(0.5)
+
+    def test_no_forecaster_and_no_vector_rejected(self, segment):
+        x, y = segment
+        with pytest.raises(ValueError, match="explicit"):
+            QuantileAllocator(tau=0.95).reserve(x, y)
+
+    def test_forecaster_must_expose_quantiles_and_be_fitted(self):
+        with pytest.raises(TypeError, match="predict_quantile"):
+            QuantileAllocator(forecaster=PersistenceForecaster())
+
+    def test_tau_validation(self):
+        with pytest.raises(ValueError, match="tau"):
+            QuantileAllocator(tau=1.0)
+        assert QuantileAllocator(tau=0.99).name == "quantile[q99]"
 
 
 class TestSimulator:

@@ -1,0 +1,105 @@
+"""FleetForecastSource: staleness, residual calibration, censor handling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FleetForecastSource
+
+#: cheap deterministic fleet settings used throughout (no GBT fitting)
+FLEET = dict(forecaster_name="holt", window=4, refit_interval=6, refit_streams=4)
+
+
+def source(n_jobs=3, **over):
+    kwargs = dict(min_errors=4, headroom_every=1, **FLEET)
+    kwargs.update(over)
+    return FleetForecastSource(n_jobs=n_jobs, **kwargs)
+
+
+class TestStaleness:
+    def test_everything_nan_before_any_data(self):
+        src = source()
+        fc = src.forecast(need_headroom=True)
+        assert np.isnan(fc.point).all()
+        assert np.isnan(fc.headroom).all()
+        assert fc.coverage == 0.0
+
+    def test_point_appears_once_windows_fill_and_model_fits(self):
+        src = source()
+        for t in range(40):
+            src.observe(np.full(3, 0.4 + 0.01 * (t % 3)))
+        fc = src.forecast()
+        assert np.isfinite(fc.point).all()
+        assert fc.coverage == 1.0
+
+    def test_absent_jobs_stay_nan(self):
+        src = source()
+        row = np.array([0.4, np.nan, 0.5])
+        for _ in range(40):
+            src.observe(row)
+        fc = src.forecast()
+        assert np.isfinite(fc.point[0]) and np.isfinite(fc.point[2])
+        assert np.isnan(fc.point[1])
+
+    def test_observe_shape_validated(self):
+        with pytest.raises(ValueError, match="observed"):
+            source(n_jobs=3).observe(np.zeros(2))
+
+
+class TestResidualBand:
+    def test_headroom_nan_below_min_errors_then_finite(self):
+        src = source(min_errors=6)
+        vals = 0.4 + 0.05 * np.sin(np.arange(60.0))
+        for t in range(8):
+            src.observe(np.full(3, vals[t]))
+        fc = src.forecast(need_headroom=True)  # few scored forecasts yet
+        assert np.isnan(fc.headroom).all()
+        for t in range(8, 40):
+            src.observe(np.full(3, vals[t]))
+            fc = src.forecast(need_headroom=True)
+        assert np.isfinite(fc.headroom).all()
+        assert (fc.headroom >= 0.0).all()  # one-sided band, floored at zero
+
+    def test_band_tracks_sizing_residuals(self):
+        """A volatile stream earns a wider band than a constant one."""
+        src = source(n_jobs=2, min_errors=4, tau=0.9)
+        rng = np.random.default_rng(0)
+        fc = None
+        for _ in range(60):
+            row = np.array([0.5, float(np.clip(0.5 + rng.normal(0, 0.2), 0, 1))])
+            src.observe(row)
+            fc = src.forecast(need_headroom=True)
+        assert fc.headroom[1] > fc.headroom[0]
+
+    def test_tau_and_cadence_validated(self):
+        with pytest.raises(ValueError, match="tau"):
+            source(tau=1.0)
+        with pytest.raises(ValueError, match="headroom_every"):
+            source(headroom_every=0)
+        with pytest.raises(ValueError, match="censor"):
+            source(censor_growth=0.5)
+
+
+class TestCensorMultiplier:
+    def test_censored_ticks_inflate_the_band(self):
+        src = source()
+        vals = 0.4 + 0.05 * np.sin(np.arange(60.0))
+        for t in range(40):
+            src.observe(np.full(3, vals[t]))
+            src.forecast(need_headroom=True)
+        base = src.forecast(need_headroom=True).headroom.copy()
+        censored = np.array([True, False, False])
+        src.observe(np.full(3, vals[40]), censored=censored)
+        fc = src.forecast(need_headroom=True)
+        assert fc.headroom[0] > base[0] * 1.2  # grown by censor_growth
+        assert src._censor_mult[0] == pytest.approx(src.censor_growth)
+
+    def test_multiplier_caps_and_decays(self):
+        src = source(censor_growth=2.0, censor_cap=3.0, censor_decay=0.5)
+        row = np.full(3, 0.5)
+        hot = np.array([True, False, False])
+        for _ in range(5):
+            src.observe(row, censored=hot)
+        assert src._censor_mult[0] == pytest.approx(3.0)  # capped
+        for _ in range(10):
+            src.observe(row, censored=np.zeros(3, bool))
+        assert src._censor_mult[0] == pytest.approx(1.0)  # decayed to identity

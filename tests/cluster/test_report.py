@@ -1,0 +1,95 @@
+"""ClusterReport arithmetic, aggregation, and the comparison table."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ClusterReport, aggregate_reports, format_policy_table
+
+
+def report(**over) -> ClusterReport:
+    base = dict(
+        policy="reactive",
+        n_machines=10,
+        n_jobs=16,
+        ticks=80,
+        job_ticks=800,
+        sla_violation_rate=0.01,
+        mean_violation_depth=0.05,
+        overload_rate=0.0,
+        mean_utilization=0.5,
+        stranded_frac=0.2,
+        waste_frac=0.3,
+        mean_reservation=0.4,
+        machine_ticks=400,
+        migrations=20,
+        forced_placements=0,
+        jobs_completed=10,
+        forecast_coverage=1.0,
+    )
+    base.update(over)
+    return ClusterReport(**base)
+
+
+class TestCost:
+    def test_cost_per_job_is_machine_ticks_over_completions(self):
+        assert report().cost_per_job() == pytest.approx(40.0)
+        assert report(jobs_completed=0).cost_per_job() == 400.0  # guarded denominator
+
+    def test_cost_penalizes_violations(self):
+        r = report()
+        assert r.cost(violation_penalty=100.0) > r.cost(violation_penalty=1.0)
+        clean = report(sla_violation_rate=0.0)
+        assert clean.cost() == pytest.approx(clean.cost_per_job())
+
+
+class TestAggregate:
+    def test_single_report_passes_through(self):
+        r = report()
+        assert aggregate_reports([r]) is r
+
+    def test_means_rates_and_rounds_counts(self):
+        agg = aggregate_reports(
+            [
+                report(sla_violation_rate=0.01, machine_ticks=400, migrations=3),
+                report(sla_violation_rate=0.03, machine_ticks=401, migrations=4),
+            ]
+        )
+        assert agg.sla_violation_rate == pytest.approx(0.02)
+        assert agg.machine_ticks == 400  # round(400.5) banker's-rounds to 400
+        assert isinstance(agg.machine_ticks, int)
+        assert agg.migrations == 4
+        assert agg.policy == "reactive"
+
+    def test_cost_per_job_becomes_ratio_of_means(self):
+        agg = aggregate_reports(
+            [
+                report(machine_ticks=300, jobs_completed=10),
+                report(machine_ticks=500, jobs_completed=10),
+            ]
+        )
+        assert agg.cost_per_job() == pytest.approx(40.0)
+
+    def test_refuses_mixed_policies_and_empty(self):
+        with pytest.raises(ValueError, match="policies"):
+            aggregate_reports([report(), report(policy="oracle")])
+        with pytest.raises(ValueError, match="at least one"):
+            aggregate_reports([])
+
+    def test_report_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report().policy = "other"
+
+
+class TestTable:
+    def test_table_lists_policies_and_relative_cost(self):
+        table = format_policy_table(
+            [report(), report(policy="oracle", machine_ticks=440)]
+        )
+        assert "reactive" in table and "oracle" in table
+        assert "+10.0%" in table  # 440 vs 400 machine-ticks, same completions
+        assert "vs reactive" in table
+
+    def test_table_without_baseline_row(self):
+        table = format_policy_table([report(policy="oracle")])
+        assert "-" in table  # relative column degrades gracefully

@@ -1,0 +1,145 @@
+"""The closed loop end-to-end: determinism, conservation, policy ordering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulator,
+    ClusterState,
+    FleetForecastSource,
+    make_policy,
+    make_schedule,
+)
+from repro.cluster import simulator as simulator_mod
+
+#: cheap deterministic fleet settings (no GBT fitting)
+FLEET = dict(
+    min_errors=8, forecaster_name="holt", window=6, refit_interval=10, refit_streams=8
+)
+CONFIG = ClusterConfig(n_machines=10)
+
+
+def small_run(policy_name: str, seed: int = 3, **policy_kwargs):
+    sched = make_schedule(n_jobs=16, ticks=80, seed=seed, min_life=40, max_life=60)
+    pol = make_policy(policy_name, **policy_kwargs)
+    source = (
+        FleetForecastSource(n_jobs=sched.n_jobs, **FLEET)
+        if pol.needs_forecasts
+        else None
+    )
+    return ClusterSimulator(sched, pol, CONFIG, source=source).run()
+
+
+class TestSchedule:
+    def test_usage_nan_exactly_outside_lifetime(self):
+        sched = make_schedule(n_jobs=8, ticks=60, seed=1, min_life=20, max_life=30)
+        alive = np.isfinite(sched.usage)
+        for j in range(sched.n_jobs):
+            ticks_alive = np.flatnonzero(alive[:, j])
+            assert ticks_alive[0] == sched.arrival[j]
+            assert ticks_alive[-1] == sched.departure[j] - 1
+            assert alive[sched.arrival[j] : sched.departure[j], j].all()
+        assert sched.job_ticks == int(alive.sum())
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError, match="min_life"):
+            make_schedule(n_jobs=4, ticks=10, min_life=30)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", ["reactive", "quantile"])
+    def test_same_seed_bit_identical_report(self, policy):
+        assert small_run(policy, seed=5) == small_run(policy, seed=5)
+
+    def test_different_seed_different_trace(self):
+        assert small_run("reactive", seed=5) != small_run("reactive", seed=6)
+
+    def test_report_identical_across_worker_counts(self, tmp_path):
+        """The experiment's parallel cells match serial execution exactly."""
+        from repro.experiments.parallel import TaskSpec, run_tasks
+
+        tasks = [
+            TaskSpec(
+                experiment="autoscale-test",
+                key=("quick", "reactive", 1),
+                fn="repro.experiments.autoscale._autoscale_cell",
+                params=dict(policy="reactive", trace_seed=1, profile="quick"),
+            )
+        ]
+        serial = run_tasks(tasks, jobs=1, cache=None)
+        parallel = run_tasks(tasks, jobs=2, cache=None)
+        assert serial[0].ok and parallel[0].ok
+        assert serial[0].value == parallel[0].value
+
+
+class TestConservation:
+    def test_invariants_hold_after_every_mutation(self, monkeypatch):
+        """Run the full loop on a state that self-checks after each operation."""
+
+        class CheckedState(ClusterState):
+            def admit(self, job, reservation):
+                m = super().admit(job, reservation)
+                self.check_invariants()
+                return m
+
+            def depart(self, job):
+                super().depart(job)
+                self.check_invariants()
+
+            def resize(self, jobs, reservations):
+                super().resize(jobs, reservations)
+                self.check_invariants()
+
+            def rebalance(self):
+                moves = super().rebalance()
+                self.check_invariants()
+                return moves
+
+            def consolidate(self, max_drains=1):
+                moves = super().consolidate(max_drains)
+                self.check_invariants()
+                return moves
+
+        monkeypatch.setattr(simulator_mod, "ClusterState", CheckedState)
+        report = small_run("quantile", seed=7)
+        assert report.job_ticks > 0
+
+    def test_report_accounting_bounds(self):
+        sched = make_schedule(n_jobs=16, ticks=80, seed=3, min_life=40, max_life=60)
+        report = small_run("reactive", seed=3)
+        assert report.job_ticks == sched.job_ticks
+        assert report.machine_ticks <= CONFIG.n_machines * sched.ticks
+        assert report.jobs_completed == int(sched.completes.sum())
+        for frac in (
+            report.sla_violation_rate,
+            report.overload_rate,
+            report.mean_utilization,
+            report.stranded_frac,
+            report.waste_frac,
+            report.forecast_coverage,
+        ):
+            assert 0.0 <= frac <= 1.0
+        # served + stranded + job-level waste cannot exceed what was powered on
+        assert report.mean_utilization + report.stranded_frac <= 1.0 + 1e-9
+
+    def test_policy_needing_forecasts_requires_source(self):
+        sched = make_schedule(n_jobs=8, ticks=60, seed=1, min_life=20, max_life=30)
+        with pytest.raises(ValueError, match="forecast source"):
+            ClusterSimulator(sched, make_policy("quantile"), CONFIG, source=None)
+
+
+class TestOrdering:
+    """Perfect information dominates; the no-op baseline never violates."""
+
+    def test_oracle_dominates_and_request_never_violates(self):
+        reports = {
+            name: small_run(name, seed=11)
+            for name in ("request", "reactive", "predictive", "quantile", "oracle")
+        }
+        assert reports["request"].sla_violation_rate == 0.0
+        oracle = reports["oracle"].sla_violation_rate
+        for name in ("reactive", "predictive", "quantile"):
+            assert oracle <= reports[name].sla_violation_rate
+        # ... and paying for the full request is the most expensive way to be safe
+        assert reports["request"].cost_per_job() > reports["oracle"].cost_per_job()

@@ -1,0 +1,128 @@
+"""ClusterState: placement mechanics and conservation invariants."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState
+
+
+class TestLifecycle:
+    def test_admit_best_fit_prefers_tightest_machine(self):
+        st = ClusterState(n_machines=3, n_jobs=4)
+        st.admit(0, 0.7)  # machine 0 -> free 0.3
+        st.admit(1, 0.4)  # machine 1 -> free 0.6
+        # 0.25 fits both; best-fit picks the tighter machine 0
+        assert st.admit(2, 0.25) == 0
+
+    def test_forced_placement_when_nothing_fits(self):
+        st = ClusterState(n_machines=2, n_jobs=3)
+        st.admit(0, 0.9)
+        st.admit(1, 0.8)
+        machine = st.admit(2, 0.5)  # nowhere fits
+        assert machine == 1  # most free capacity (0.2)
+        assert st.n_forced_placements == 1
+        assert st.reserved[1] == pytest.approx(1.3)  # overcommit is recorded
+        st.check_invariants()
+
+    def test_depart_powers_machine_off(self):
+        st = ClusterState(n_machines=2, n_jobs=2)
+        st.admit(0, 0.5)
+        st.depart(0)
+        assert not st.powered_on.any()
+        assert st.reserved[0] == 0.0  # float dust flushed
+        assert st.placement[0] == -1
+        st.check_invariants()
+
+    def test_double_admit_and_ghost_depart_rejected(self):
+        st = ClusterState(n_machines=2, n_jobs=2)
+        st.admit(0, 0.5)
+        with pytest.raises(ValueError, match="already active"):
+            st.admit(0, 0.5)
+        with pytest.raises(ValueError, match="not active"):
+            st.depart(1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ClusterState(0, 1)
+        with pytest.raises(ValueError):
+            ClusterState(1, 1, capacity=0.0)
+
+
+class TestResizeAndMaintenance:
+    def test_resize_updates_machine_aggregates(self):
+        st = ClusterState(n_machines=2, n_jobs=2)
+        st.admit(0, 0.3)
+        st.admit(1, 0.3)
+        st.resize(np.array([0, 1]), np.array([0.5, 0.1]))
+        np.testing.assert_allclose(st.reservation[:2], [0.5, 0.1])
+        st.check_invariants()
+
+    def test_resize_validation(self):
+        st = ClusterState(n_machines=2, n_jobs=2)
+        st.admit(0, 0.3)
+        with pytest.raises(ValueError, match="active"):
+            st.resize(np.array([1]), np.array([0.5]))
+        with pytest.raises(ValueError, match="positive"):
+            st.resize(np.array([0]), np.array([0.0]))
+
+    def test_rebalance_clears_overcommit_when_room_exists(self):
+        st = ClusterState(n_machines=2, n_jobs=3)
+        st.admit(0, 0.4)
+        st.admit(1, 0.4)  # best-fit stacks both on machine 0
+        assert st.jobs_on[0] == 2
+        st.resize(np.array([0, 1]), np.array([0.7, 0.6]))  # 1.3 > capacity
+        moves = st.rebalance()
+        assert moves == 1
+        assert (st.reserved <= st.capacity + 1e-9).all()
+        assert st.n_migrations == 1
+        st.check_invariants()
+
+    def test_rebalance_leaves_uncleara_ble_overcommit(self):
+        st = ClusterState(n_machines=1, n_jobs=2)
+        st.admit(0, 0.9)
+        st.admit(1, 0.9)  # forced onto the only machine
+        assert st.rebalance() == 0  # nowhere to go
+        assert st.reserved[0] > st.capacity
+
+    def test_consolidate_drains_emptiest_machine(self):
+        st = ClusterState(n_machines=3, n_jobs=3)
+        st.admit(0, 0.6)
+        st.admit(1, 0.3)  # joins machine 0 (best fit)
+        # open a second machine with a small job, then drain it
+        st.admit(2, 0.9)
+        st.depart(0)  # machine 0 now holds only job 1 (0.3)
+        assert st.powered_on.sum() == 2
+        moves = st.consolidate(max_drains=2)
+        assert moves == 0  # 0.3 does not fit next to 0.9 — no partial drain
+        st.resize(np.array([2]), np.array([0.5]))
+        moves = st.consolidate(max_drains=2)
+        assert moves == 1
+        assert st.powered_on.sum() == 1
+        st.check_invariants()
+
+    def test_machine_demand_sums_active_jobs_only(self):
+        st = ClusterState(n_machines=2, n_jobs=3)
+        st.admit(0, 0.5)
+        st.admit(1, 0.5)
+        usage = np.array([0.2, 0.3, 99.0])  # job 2 inactive — ignored
+        load = st.machine_demand(usage)
+        assert load.sum() == pytest.approx(0.5)
+
+
+class TestInvariantFuzz:
+    def test_random_churn_preserves_invariants(self, rng):
+        st = ClusterState(n_machines=6, n_jobs=30, capacity=1.0)
+        for step in range(300):
+            op = rng.integers(0, 4)
+            inactive = np.flatnonzero(~st.active)
+            active = np.flatnonzero(st.active)
+            if op == 0 and inactive.size:
+                st.admit(int(rng.choice(inactive)), float(rng.uniform(0.05, 0.6)))
+            elif op == 1 and active.size:
+                st.depart(int(rng.choice(active)))
+            elif op == 2 and active.size:
+                st.resize(active, rng.uniform(0.05, 0.6, active.size))
+                st.rebalance()
+            elif op == 3:
+                st.consolidate(max_drains=2)
+            st.check_invariants()
