@@ -17,8 +17,16 @@ Comparison rules, by metric name anywhere in the entry:
   threshold exceeded *and* an absolute slowdown above ``ABS_FLOOR_SECONDS``
   (sub-50 ms timings are scheduler noise, not signal);
 * ``*per_sec*``  — higher is better (throughput);
+* ``*mae*`` / ``*mse*`` — accuracy, lower is better; compared at a
+  tighter relative threshold (``ACCURACY_THRESHOLD``) because model
+  error is deterministic under the seeded harness, with a tiny absolute
+  floor for float noise;
 * everything else (ratios, counts, shapes) is informational only —
   dedicated test assertions gate those.
+
+When ``$GITHUB_STEP_SUMMARY`` is set (GitHub Actions), the same diff is
+appended there as a markdown table so the comparison shows up on the
+run's summary page without digging through logs.
 
 Baseline entries are matched by label (``RPTCN_BENCH_LABEL``); when the
 fresh label is absent from the committed file, the baseline's last entry
@@ -38,6 +46,13 @@ from pathlib import Path
 
 #: ignore "regressions" smaller than this many absolute seconds
 ABS_FLOOR_SECONDS = 0.05
+
+#: max allowed relative accuracy (MAE/MSE) regression — tighter than the
+#: wall-clock threshold because seeded model error is deterministic
+ACCURACY_THRESHOLD = 0.05
+
+#: ignore accuracy deltas below this absolute size (float summation noise)
+ABS_FLOOR_ACCURACY = 1e-6
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -93,39 +108,107 @@ def entry_cores(nums: dict[str, float]) -> int | None:
     return None
 
 
-def compare(fresh: dict, base: dict, threshold: float) -> tuple[list[str], list[str]]:
-    """Return (regressions, report_lines) for one pair of entries."""
+def metric_kind(path: str) -> tuple[str, str] | None:
+    """Classify a dotted metric path: (kind, regression direction) or None.
+
+    Accuracy wins over wall-clock when a path somehow matches both;
+    matching is on the lowercased path so ``MAE``/``mae`` both hit.
+    """
+    low = path.lower()
+    if "mae" in low or "mse" in low:
+        return "accuracy", "worse error"
+    if "seconds" in low:
+        return "wall", "slower"
+    if "per_sec" in low:
+        return "throughput", "less throughput"
+    return None
+
+
+def compare(
+    fresh: dict, base: dict, threshold: float
+) -> tuple[list[str], list[str], list[tuple[str, float, float, float, str]]]:
+    """Return (regressions, report_lines, rows) for one pair of entries.
+
+    ``rows`` are ``(path, old, new, delta_pct, status)`` tuples feeding
+    the markdown summary; ``status`` is ``ok``/``REGRESSION``/``skipped``.
+    """
     fresh_nums = numeric_leaves(fresh)
     base_nums = numeric_leaves(base)
     regressions: list[str] = []
     lines: list[str] = []
+    rows: list[tuple[str, float, float, float, str]] = []
     fresh_cores, base_cores = entry_cores(fresh_nums), entry_cores(base_nums)
-    if fresh_cores is not None and base_cores is not None and fresh_cores != base_cores:
+    cores_differ = (
+        fresh_cores is not None and base_cores is not None and fresh_cores != base_cores
+    )
+    if cores_differ:
         lines.append(
             f"  skipped    wall-clock comparison: fresh ran on {fresh_cores} "
-            f"core(s), baseline on {base_cores} — not comparable"
+            f"core(s), baseline on {base_cores} — not comparable "
+            "(accuracy still checked)"
         )
-        return regressions, lines
     for path in sorted(fresh_nums):
         if path not in base_nums:
             continue
+        kind = metric_kind(path)
+        if kind is None:
+            continue
+        metric, direction = kind
         new, old = fresh_nums[path], base_nums[path]
-        if "seconds" in path:
+        if metric == "accuracy":
+            regressed = (
+                new > old * (1.0 + ACCURACY_THRESHOLD)
+                and new - old > ABS_FLOOR_ACCURACY
+            )
+        elif cores_differ:
+            # wall-clock/throughput across differing core counts is noise
+            delta = (new / old - 1.0) * 100.0 if old else float("inf")
+            rows.append((path, old, new, delta, "skipped"))
+            continue
+        elif metric == "wall":
             regressed = (
                 new > old * (1.0 + threshold) and new - old > ABS_FLOOR_SECONDS
             )
-            direction = "slower"
-        elif "per_sec" in path:
+        else:  # throughput
             regressed = old > 0 and new < old * (1.0 - threshold)
-            direction = "less throughput"
-        else:
-            continue
         delta = (new / old - 1.0) * 100.0 if old else float("inf")
         marker = "REGRESSION" if regressed else "ok"
         lines.append(f"  {marker:<10} {path}: {old:g} -> {new:g} ({delta:+.1f}%)")
+        rows.append((path, old, new, delta, marker))
         if regressed:
             regressions.append(f"{path} {direction}: {old:g} -> {new:g} ({delta:+.1f}%)")
-    return regressions, lines
+    return regressions, lines, rows
+
+
+def write_step_summary(
+    sections: list[tuple[str, str, str, list[tuple[str, float, float, float, str]]]],
+    threshold: float,
+    failed: bool,
+) -> None:
+    """Append a markdown diff table to ``$GITHUB_STEP_SUMMARY`` if set."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    out = ["## Benchmark regression check", ""]
+    verdict = "❌ regressions detected" if failed else "✅ no regressions"
+    out.append(
+        f"{verdict} (wall-clock threshold {threshold:.0%}, "
+        f"accuracy threshold {ACCURACY_THRESHOLD:.0%})"
+    )
+    for file_name, fresh_label, base_label, rows in sections:
+        out += ["", f"### {file_name} — `{fresh_label}` vs committed `{base_label}`", ""]
+        if not rows:
+            out.append("_no comparable metrics_")
+            continue
+        out += [
+            "| metric | baseline | fresh | Δ | status |",
+            "| --- | ---: | ---: | ---: | :---: |",
+        ]
+        for path, old, new, delta, status in rows:
+            icon = {"ok": "✅", "REGRESSION": "❌", "skipped": "⏭️"}.get(status, status)
+            out.append(f"| `{path}` | {old:g} | {new:g} | {delta:+.1f}% | {icon} |")
+    with open(summary_path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(out) + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -157,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
 
     label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
     all_regressions: list[str] = []
+    sections: list[tuple[str, str, str, list[tuple[str, float, float, float, str]]]] = []
     for path in files:
         baseline = committed_baseline(path, args.baseline_ref)
         if baseline is None:
@@ -172,13 +256,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{path.name}: committed baseline has no entries — skipped")
             continue
         base_label, base_entry = picked
-        regressions, lines = compare(fresh_entry, base_entry, args.threshold)
+        regressions, lines, rows = compare(fresh_entry, base_entry, args.threshold)
         print(f"{path.name}: {label!r} vs committed {base_label!r} "
               f"(threshold {args.threshold:.0%})")
         for line in lines:
             print(line)
         all_regressions.extend(f"{path.name}: {r}" for r in regressions)
+        sections.append((path.name, label, base_label, rows))
 
+    write_step_summary(sections, args.threshold, failed=bool(all_regressions))
     if all_regressions:
         print("\nperformance regressions detected:", file=sys.stderr)
         for r in all_regressions:

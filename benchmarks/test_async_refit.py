@@ -1,0 +1,86 @@
+"""Async refit stall gate (marker ``perf_smoke``) -> ``BENCH_serving.json``.
+
+The p99 tail gate for ROADMAP item 3: moving pooled refits off the
+serving path must make the ticks *around refit activity* strictly
+cheaper than the sync baseline — at equal-or-better prequential MAE.
+Under the paced schedule (fits complete within the production tick gap)
+plain async is prediction-bit-identical to sync, so the accuracy half
+of the gate is exact rather than statistical; the latency half holds
+because a submission + an atomic swap cost microseconds while the
+in-line fit costs the full training run.
+
+Writes an ``async_refit`` block into the shared BENCH_serving.json
+entry (keyed by ``RPTCN_BENCH_LABEL``), which the accuracy-aware
+``check_regression.py`` also diffs across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.refit_stall import run_refit_stall
+
+from ._machine import machine_info
+from .conftest import run_once
+
+
+@pytest.mark.perf_smoke
+def test_perf_smoke_async_refit(benchmark, profile):
+    """Async p99 around refit ticks < sync p99; paced async MAE == sync MAE."""
+    res = run_once(benchmark, run_refit_stall, profile.name)
+
+    snapshot = {
+        "async_refit": {
+            **machine_info(),
+            "n_streams": res.n_streams,
+            "ticks": res.ticks,
+            "refit_interval": res.refit_interval,
+            "model": res.model,
+            "gate_latency": res.gate_latency,
+            "gate_accuracy": res.gate_accuracy,
+            "modes": {
+                m.label: {
+                    "p50_ms": round(m.p50_ms, 4),
+                    "p99_ms": round(m.p99_ms, 4),
+                    "refit_p99_ms": round(m.refit_p99_ms, 4),
+                    "max_ms": round(m.max_ms, 4),
+                    "mae": round(m.mae, 6),
+                    "n_refits": m.n_refits,
+                    "n_deferred": m.n_deferred,
+                    "model_version": m.model_version,
+                }
+                for m in res.modes
+            },
+        }
+    }
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    data = {"schema": "bench-serving/v1", "entries": {}}
+    if path.exists():
+        data = json.loads(path.read_text())
+    label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
+    # merge, don't replace: the fleet/shard/chaos smokes share this entry
+    data["entries"].setdefault(label, {}).update(snapshot)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+    sync = res.mode("sync")
+    asyn = res.mode("async")
+    assert res.gate_latency, (
+        f"async refit ticks did not beat sync: async p99@refit "
+        f"{asyn.refit_p99_ms:.2f} ms vs sync {sync.refit_p99_ms:.2f} ms"
+    )
+    assert res.gate_accuracy, (
+        f"paced async MAE regressed: {asyn.mae:.6f} vs sync {sync.mae:.6f} "
+        "(paced async must be prediction-bit-identical to sync)"
+    )
+    # every async mode also must hold the stall win, not just plain async
+    for label_ in ("async+warm", "async+pruned"):
+        m = res.mode(label_)
+        assert m.refit_p99_ms < sync.refit_p99_ms, (
+            f"{label_} p99@refit {m.refit_p99_ms:.2f} ms did not beat sync "
+            f"{sync.refit_p99_ms:.2f} ms"
+        )

@@ -54,6 +54,7 @@ from .fleet import run_fleet, run_shard_scaling
 from .generalization import run_generalization
 from .horizon import run_horizon_sweep
 from .parallel import TaskSpec, run_tasks
+from .refit_stall import run_refit_stall
 from .resilience import run_resilience
 from .robustness import run_robustness
 
@@ -64,7 +65,7 @@ EXPERIMENTS = ("fig1", "fig2", "fig3", "fig7", "table2", "fig8", "fig9", "fig10"
 #: extension harnesses (run individually, or via --experiment extensions)
 EXTENSIONS = (
     "horizon", "robustness", "generalization", "resilience", "fleet", "shard", "chaos",
-    "autoscale",
+    "autoscale", "refit_stall",
 )
 
 
@@ -312,6 +313,35 @@ def _print_autoscale(profile: str, ctx: RunContext) -> None:
     print(f"calibrated predictive beats reactive (SLA down, cost <=): {res.gate_pass}")
 
 
+def _print_refit_stall(profile: str, ctx: RunContext) -> None:
+    res = run_refit_stall(profile)
+    rows = [
+        [
+            m.label,
+            m.model,
+            f"{m.p50_ms:.2f}",
+            f"{m.p99_ms:.2f}",
+            f"{m.refit_p99_ms:.2f}",
+            f"{m.max_ms:.2f}",
+            f"{m.mae * 100:.3f}",
+            m.n_refits,
+            m.n_deferred or "-",
+            m.model_version,
+        ]
+        for m in res.modes
+    ]
+    print(format_table(
+        ["mode", "model", "p50 ms", "p99 ms", "p99@refit ms", "max ms",
+         "MAE(e-2)", "refits", "deferred", "version"],
+        rows,
+        title=f"Refit stall: sync vs async vs warm vs pruned "
+        f"(N={res.n_streams}, {res.ticks} ticks, refit every "
+        f"{res.refit_interval}, window={res.window})",
+    ))
+    print(f"async p99 around refit ticks < sync p99: {res.gate_latency}")
+    print(f"paced async MAE equal-or-better than sync: {res.gate_accuracy}")
+
+
 _RUNNERS = {
     "fig1": _print_fig1,
     "fig2": _print_fig2,
@@ -329,6 +359,7 @@ _RUNNERS = {
     "shard": _print_shard,
     "chaos": _print_chaos,
     "autoscale": _print_autoscale,
+    "refit_stall": _print_refit_stall,
 }
 
 

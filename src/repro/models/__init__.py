@@ -20,6 +20,7 @@ from .ensemble import EnsembleForecaster, HybridARIMANNForecaster
 from .exponential import HoltForecaster, holt_linear, simple_exponential_smoothing
 from .gbt import GradientBoostedTrees, GBTForecaster, RegressionTree
 from .gru import GRUForecaster
+from .gru_pruned import PrunedGRUForecaster
 from .lstm import LSTMForecaster
 from .mlp import MLPForecaster
 from .naive import DriftForecaster, MeanForecaster, PersistenceForecaster
@@ -52,6 +53,7 @@ __all__ = [
     "MeanForecaster",
     "DriftForecaster",
     "GRUForecaster",
+    "PrunedGRUForecaster",
     "MLPForecaster",
     "HoltForecaster",
     "holt_linear",

@@ -73,6 +73,39 @@ class Forecaster(abc.ABC):
         for every registered forecaster.
         """
 
+    # -- warm-start contract ---------------------------------------------------
+
+    @property
+    def supports_warm_fit(self) -> bool:
+        """Whether :meth:`warm_fit` is cheaper than a fit-from-scratch.
+
+        Online callers (the async refit engine) use this to decide
+        whether shipping the current weights to a background worker buys
+        anything; models that just re-fit report ``False``.
+        """
+        return False
+
+    def warm_fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        epochs: int | None = None,
+    ) -> "Forecaster":
+        """Resume training from the current parameters on fresh windows.
+
+        The contract is *best effort*: a model that cannot resume (never
+        fitted, incompatible input shape, no incremental procedure) must
+        fall back to a full :meth:`fit` rather than raise — callers
+        treat ``warm_fit`` as "give me an updated model", not as a
+        guarantee of incrementality. ``epochs`` bounds the resume budget
+        for iterative models and is ignored by the rest. The base
+        implementation is exactly the cold path.
+        """
+        del epochs  # the cold path has no epoch budget to bound
+        return self.fit(x, y, x_val, y_val)
+
     # -- shared validation helpers -------------------------------------------
 
     @staticmethod
@@ -192,6 +225,7 @@ class NeuralForecaster(Forecaster):
         self._check_xy(x, y)
         rng = np.random.default_rng(self.seed)
         _, window, features = x.shape
+        self._fit_shape = (window, features)
         self.model = self.build(window, features, rng)
         self.trainer = Trainer(
             self.model,
@@ -213,6 +247,60 @@ class NeuralForecaster(Forecaster):
             callbacks=callbacks,
         )
         self.fitted = True
+        return self
+
+    @property
+    def supports_warm_fit(self) -> bool:
+        """Neural models resume from current weights + optimizer moments."""
+        return True
+
+    def warm_fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        epochs: int | None = None,
+    ) -> "NeuralForecaster":
+        """Continue training the existing network for a few epochs.
+
+        Reuses the live :class:`Trainer` — same Adam instance, so the
+        optimizer's first/second moments carry over and the resume is a
+        genuine continuation rather than a re-warmup. Falls back to the
+        cold :meth:`fit` when there is nothing to resume (never fitted)
+        or the input shape no longer matches the built network. The
+        default budget is a quarter of the cold epoch count, floor 1.
+        """
+        if (
+            self.model is None
+            or self.trainer is None
+            or not self.fitted
+            or getattr(self, "_fit_shape", None) != tuple(np.asarray(x).shape[1:])
+        ):
+            return self.fit(x, y, x_val, y_val)
+        self._check_xy(x, y)
+        budget = int(epochs) if epochs is not None else max(1, self.epochs // 4)
+        if budget < 1:
+            raise ValueError(f"epochs must be >= 1, got {budget}")
+        callbacks = []
+        if x_val is not None and y_val is not None:
+            callbacks.append(EarlyStopping(patience=self.patience))
+        history = self.trainer.fit(
+            x,
+            y,
+            x_val,
+            y_val,
+            epochs=budget,
+            batch_size=self.batch_size,
+            callbacks=callbacks,
+        )
+        # splice the resume into the model's lifetime loss curves
+        if self.history is not None:
+            self.history.train_loss.extend(history.train_loss)
+            self.history.val_loss.extend(history.val_loss)
+            self.history.epochs_run += history.epochs_run
+        else:
+            self.history = history
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:

@@ -36,6 +36,7 @@ from .faults import (
 )
 from .fleet import FleetPredictor, FleetTick
 from .online import OnlinePredictor, PredictionRecord
+from .refit import AsyncRefitEngine, ModelSlot, RefitOutcome, RefitTask
 from .resilience import (
     FleetGate,
     FleetGateResult,
@@ -59,6 +60,10 @@ __all__ = [
     "MatrixRingBuffer",
     "FleetPredictor",
     "FleetTick",
+    "AsyncRefitEngine",
+    "RefitTask",
+    "RefitOutcome",
+    "ModelSlot",
     "ShardedFleetPredictor",
     "RespawnPolicy",
     "AllShardsFailedError",

@@ -26,6 +26,14 @@ model state and processes one *tick* (one record per stream) at a time:
   fitted on windows pooled from a bounded, round-robin sample of stream
   buffers, so a refit costs O(sample) instead of O(N) and a drift storm
   across the fleet cannot stall serving;
+* with ``refit_mode="async"`` the pooled fit itself leaves the serving
+  path: an :class:`~repro.streaming.refit.AsyncRefitEngine` fits a fresh
+  model on a background worker and the serving thread adopts it at the
+  start of a later tick by **atomic weight swap** — the tick that
+  triggers a refit only pools and submits, so refit ticks stop paying
+  the fit cost (the p99 stall ROADMAP item 3 targets). Every tick
+  carries the live ``model_version`` and obs tracks staleness, refit
+  lag and swap counts;
 * the whole fleet checkpoints to one crash-safe artifact via
   :mod:`repro.streaming.checkpoint`.
 
@@ -58,6 +66,7 @@ from .buffer import MatrixRingBuffer
 from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
 from .drift import PageHinkley
 from .online import _HEALTH_LEVEL, PredictionRecord
+from .refit import AsyncRefitEngine, RefitTask
 from .resilience import (
     GATE_QUARANTINE,
     GatePolicy,
@@ -89,10 +98,13 @@ class FleetTick:
     predictions: np.ndarray  #: (N,) float — NaN where no prediction was served
     actuals: np.ndarray  #: (N,) float — gated target values (raw if quarantined)
     errors: np.ndarray  #: (N,) float — NaN where no prediction was served
-    refit: bool  #: a shared-model refit attempt ran this tick
+    refit: bool  #: the serving model changed this tick (in-line refit or async swap)
     drift: np.ndarray  #: (N,) bool — stream's drift detector fired this tick
     health: np.ndarray  #: (N,) uint8 — 0 healthy / 1 degraded / 2 fallback / 3 recovering (sharded)
     gated: np.ndarray  #: (N,) int8 — gate action codes (accept/impute/quarantine)
+    #: primary-model version that served this tick (0 = no model yet;
+    #: sharded fleets report the minimum across live shards)
+    model_version: int = 0
 
     @property
     def n_streams(self) -> int:
@@ -217,6 +229,8 @@ class _FleetStats:
         #: fleet-wide (the model is shared, so refits are not per-stream)
         self.n_refits = 0
         self.n_refit_failures = 0
+        #: async mode: refit triggers that found a background fit in flight
+        self.n_refits_deferred = 0
         #: running fleet totals mirrored at the mutation sites so the
         #: per-tick obs wrapper reads O(1) ints instead of summing the
         #: per-stream arrays (4 O(N) scans/tick — the N=1 bench killer)
@@ -271,6 +285,7 @@ class _FleetStats:
         state["sum_sq_error"] = self.sum_sq_error.copy()
         state["n_refits"] = self.n_refits
         state["n_refit_failures"] = self.n_refit_failures
+        state["n_refits_deferred"] = self.n_refits_deferred
         state["errors"] = self.errors.state_dict()
         return state
 
@@ -281,6 +296,7 @@ class _FleetStats:
         self.sum_sq_error[...] = state["sum_sq_error"]
         self.n_refits = int(state["n_refits"])
         self.n_refit_failures = int(state["n_refit_failures"])
+        self.n_refits_deferred = int(state.get("n_refits_deferred", 0))
         self.total_fallback_predictions = int(self.n_fallback_predictions.sum())
         self.total_clamped_predictions = int(self.n_clamped_predictions.sum())
         self.errors.load_state_dict(state["errors"])
@@ -312,6 +328,30 @@ class FleetPredictor:
         Hard cap on the pooled training-set size per refit (the most
         recent windows win) — the per-tick refit budget that keeps a
         drift storm from stalling serving.
+    refit_mode:
+        ``"sync"`` (default, the PR-5 behavior: pooled refits run
+        in-line with the triggering tick) or ``"async"``: the trigger
+        tick only pools windows and submits them to a background
+        :class:`~repro.streaming.refit.AsyncRefitEngine`; the fitted
+        model is adopted by atomic swap at the start of a later tick,
+        so no tick ever blocks on a fit. One refit is in flight at a
+        time — triggers that land while the worker is busy are deferred
+        to the next tick (counted in
+        ``serving_fleet_refits_deferred_total``), so the effective
+        cadence degrades gracefully to ``max(refit_interval, fit_time)``.
+    refit_backend:
+        Async worker flavor: ``"thread"`` (default — numpy kernels
+        release the GIL, so the fit overlaps serving on multicore) or
+        ``"process"`` (a persistent spawned process: full isolation at
+        the cost of one task/model pickle per refit).
+    warm_start:
+        Async mode only: ship the current model's weights with each
+        task so models implementing :meth:`Forecaster.warm_fit` resume
+        training instead of refitting from scratch (the worker resumes
+        a *copy*; the live model is never touched off-thread).
+    warm_epochs:
+        Epoch budget for warm-started resumes (``None`` = the model's
+        default, a quarter of its cold budget).
     error_history:
         Per-stream retained error-ring length (the fleet ring is always
         bounded; there is no opt-out at fleet scale).
@@ -340,6 +380,10 @@ class FleetPredictor:
         span_sample: int = 8,
         refit_streams: int = 8,
         max_fit_windows: int = 4096,
+        refit_mode: str = "sync",
+        refit_backend: str = "thread",
+        warm_start: bool = False,
+        warm_epochs: int | None = None,
     ) -> None:
         if n_streams < 1:
             raise ValueError(f"n_streams must be >= 1, got {n_streams}")
@@ -353,6 +397,14 @@ class FleetPredictor:
             raise ValueError(f"refit_interval must be >= 1, got {refit_interval}")
         if refit_streams < 1 or max_fit_windows < 1:
             raise ValueError("refit_streams and max_fit_windows must be >= 1")
+        if refit_mode not in ("sync", "async"):
+            raise ValueError(f"refit_mode must be 'sync' or 'async', got {refit_mode!r}")
+        if refit_backend not in ("thread", "process"):
+            raise ValueError(
+                f"refit_backend must be 'thread' or 'process', got {refit_backend!r}"
+            )
+        if warm_epochs is not None and warm_epochs < 1:
+            raise ValueError(f"warm_epochs must be >= 1, got {warm_epochs}")
         if detector is not None and type(detector) is not PageHinkley:
             raise TypeError(
                 "FleetPredictor vectorizes PageHinkley detector state; "
@@ -419,9 +471,39 @@ class FleetPredictor:
                 ("drift_events", "per-stream drift detector firings"),
                 ("fallback_predictions", "predictions served by the fallback"),
                 ("clamped_predictions", "predictions clamped into the plausibility band"),
+                ("async_swaps", "background fits adopted by atomic weight swap"),
+                ("refits_deferred", "refit triggers deferred: a background fit was in flight"),
             )
         }
-        for inst in (self._h_latency, self._h_batch, self._g_throughput, self._g_health):
+        # async-refit telemetry: live version, staleness, submit->swap lag,
+        # off-path fit cost (these make the swap protocol observable)
+        self._g_version = MetricGauge(
+            "serving_fleet_model_version", "live shared-model version (0 = no model yet)"
+        )
+        self._g_staleness = MetricGauge(
+            "serving_fleet_model_staleness_ticks",
+            "ticks elapsed since the live model's training pool was drawn",
+        )
+        self._h_refit_lag = MetricHistogram(
+            "serving_fleet_refit_lag_ticks",
+            "ticks between refit submission and the adopting weight swap",
+            buckets=log_buckets(1.0, 4096.0),
+        )
+        self._h_fit_seconds = MetricHistogram(
+            "serving_fleet_refit_fit_seconds",
+            "background fit duration (spent off the serving path)",
+            buckets=log_buckets(1e-4, 600.0),
+        )
+        for inst in (
+            self._h_latency,
+            self._h_batch,
+            self._g_throughput,
+            self._g_health,
+            self._g_version,
+            self._g_staleness,
+            self._h_refit_lag,
+            self._h_fit_seconds,
+        ):
             obs_registry.register(inst)
         self._last_health_level: int | None = None
         self._span_sample = span_sample
@@ -435,6 +517,19 @@ class FleetPredictor:
         self.on_fallback = False
         self.error_history = error_history
         self.stats = _FleetStats(n_streams, error_history)
+        self.refit_mode = refit_mode
+        self.refit_backend = refit_backend
+        self.warm_start = bool(warm_start)
+        self.warm_epochs = warm_epochs
+        #: bumps on every adopted primary model (in-line refit or async swap)
+        self.model_version = 0
+        #: fleet step whose pooled windows trained the live model (-1 = none)
+        self._model_step = -1
+        # the engine spawns its worker lazily on first submit, so sync-mode
+        # fleets (and async ones that never refit) pay nothing here
+        self.refit_engine: AsyncRefitEngine | None = (
+            AsyncRefitEngine(refit_backend) if refit_mode == "async" else None
+        )
         self._step = 0
         self._since_refit = 0
         self._refit_cursor = 0
@@ -522,13 +617,102 @@ class FleetPredictor:
             model.fit(x, y)
             return model
 
-        ok, model = self.refit_supervisor.run(attempt)
+        # the clock resets when the attempt *starts*, not after it returns:
+        # anything escaping the supervisor (it only catches Exception, so a
+        # BaseException from the fit propagates) must not leave the
+        # ``scheduled`` trigger armed, or every subsequent tick re-fires a
+        # refit — async mode resets at submission for the same reason
         self._since_refit = 0
+        ok, model = self.refit_supervisor.run(attempt)
         if ok:
             self.model = model
+            self.model_version += 1
+            self._model_step = self._step
             self.on_fallback = False
             self.stats.n_refits += 1
             return True
+        self.stats.n_refit_failures += 1
+        if self.model is None or self.refit_supervisor.should_fall_back:
+            self._fit_fallback()
+            if self.fallback_model is not None:
+                self.on_fallback = True
+        return False
+
+    def _schedule_refit(self) -> bool:
+        """Async-mode refit trigger: pool windows, submit to the engine.
+
+        Returns ``True`` iff an attempt *started* (task submitted, or
+        pooling/fault-hook failed and was counted) — mirroring what one
+        supervised in-line attempt would have done to the clock, the
+        failure streak and the drift detector. A busy engine defers the
+        trigger instead, *without* resetting the refit clock, so it
+        re-arms next tick and the effective cadence degrades to
+        ``max(refit_interval, fit_time)``.
+        """
+        engine = self.refit_engine
+        assert engine is not None
+        if engine.busy:
+            self.stats.n_refits_deferred += 1
+            self._obs_counters["refits_deferred"].inc()
+            return False
+        self._since_refit = 0  # attempt starts now — same clock as sync mode
+        try:
+            if self.refit_fault_hook is not None:
+                self.refit_fault_hook()
+            x, y = self._fit_pool()
+        except Exception as exc:  # noqa: BLE001 — mirror the supervised attempt
+            self.refit_supervisor.record(False, f"{type(exc).__name__}: {exc}")
+            self.stats.n_refit_failures += 1
+            if self.model is None or self.refit_supervisor.should_fall_back:
+                self._fit_fallback()
+                if self.fallback_model is not None:
+                    self.on_fallback = True
+            return True
+        warm = None
+        if (
+            self.warm_start
+            and self.model is not None
+            and getattr(self.model, "supports_warm_fit", False)
+        ):
+            warm = self.model.to_bytes()
+        engine.submit(
+            RefitTask(
+                self.forecaster_name,
+                dict(self.forecaster_kwargs),
+                x,
+                y,
+                warm_state=warm,
+                warm_epochs=self.warm_epochs,
+                step=self._step,
+            )
+        )
+        return True
+
+    def _poll_async_refit(self) -> bool:
+        """Adopt a finished background fit; ``True`` iff the model swapped.
+
+        The swap is one reference assignment of a fully fitted model the
+        serving thread has never seen — readers observe the old model or
+        the new one, never a torn mix. Failures land with the same
+        bookkeeping as a failed in-line refit.
+        """
+        engine = self.refit_engine
+        assert engine is not None
+        outcome = engine.poll()
+        if outcome is None:
+            return False
+        if outcome.ok:
+            self.refit_supervisor.record(True)
+            self.model = outcome.model
+            self.model_version += 1
+            self._model_step = outcome.task.step
+            self.on_fallback = False
+            self.stats.n_refits += 1
+            self._obs_counters["async_swaps"].inc()
+            self._h_refit_lag.observe(float(self._step - outcome.task.step))
+            self._h_fit_seconds.observe(outcome.fit_seconds)
+            return True
+        self.refit_supervisor.record(False, outcome.error)
         self.stats.n_refit_failures += 1
         if self.model is None or self.refit_supervisor.should_fall_back:
             self._fit_fallback()
@@ -605,6 +789,10 @@ class FleetPredictor:
         if level != self._last_health_level:
             self._last_health_level = level
             self._g_health.set(level)
+        self._g_version.set(float(self.model_version))
+        self._g_staleness.set(
+            float(self._step - self._model_step) if self.model is not None else 0.0
+        )
         if st.n_refits != b_refits:
             counters["refits"].inc(st.n_refits - b_refits)
         if st.n_refit_failures != b_refit_failures:
@@ -630,6 +818,14 @@ class FleetPredictor:
                 f"got {arr.shape}"
             )
         st = self.stats
+        # async mode: adopt a finished background fit *before* predicting, so
+        # the freshest completed model serves this tick — with a fit that
+        # lands within one tick gap this is exactly the sync schedule (model
+        # fitted at trigger tick k serves tick k+1), which is what the
+        # paced-parity tests assert
+        swapped = False
+        if self.refit_engine is not None:
+            swapped = self._poll_async_refit()
         gated = self.gate.check_tick(arr)
         accepted = gated.actions != GATE_QUARANTINE
         # quarantined rows report their *raw* target (possibly NaN), accepted
@@ -696,7 +892,7 @@ class FleetPredictor:
         #    matching the scalar predictor's early return)
         self.buffer.append_tick(gated.records, mask=accepted)
         self._step += 1
-        refit = False
+        refit = swapped
         if accepted.any():
             self._since_refit += 1
             sizes = self.buffer.sizes
@@ -712,8 +908,12 @@ class FleetPredictor:
             scheduled = self.model is not None and self._since_refit >= self.refit_interval
             drift_ready = fired & (sizes >= self.min_fit_size)
             if needs_fit or scheduled or bool(drift_ready.any()):
-                refit = self._refit()
-                self.detector.reset(fired)
+                if self.refit_engine is not None:
+                    if self._schedule_refit():
+                        self.detector.reset(fired)
+                else:
+                    refit = self._refit()
+                    self.detector.reset(fired)
 
         health = np.full(self.n_streams, _HEALTH_LEVEL[self.health], dtype=np.uint8)
         health[used_fallback] = _HEALTH_LEVEL[HealthStatus.FALLBACK]
@@ -726,6 +926,7 @@ class FleetPredictor:
             drift=fired,
             health=health,
             gated=gated.actions,
+            model_version=self.model_version,
         )
 
     def run(self, ticks: np.ndarray) -> list[FleetTick]:
@@ -763,10 +964,26 @@ class FleetPredictor:
                 "error_history": self.error_history,
                 "refit_streams": self.refit_streams,
                 "max_fit_windows": self.max_fit_windows,
+                "refit_mode": self.refit_mode,
+                "refit_backend": self.refit_backend,
+                "warm_start": self.warm_start,
+                "warm_epochs": self.warm_epochs,
             },
             "step": self._step,
             "since_refit": self._since_refit,
             "refit_cursor": self._refit_cursor,
+            "model_version": self.model_version,
+            "model_step": self._model_step,
+            # an in-flight (or finished-but-unadopted) background fit is
+            # persisted as its *task*: restore resubmits it, so the fit it
+            # would have produced still lands — restore-then-replay equals
+            # the uninterrupted run (fits are seeded and deterministic)
+            "pending_refit": (
+                None
+                if self.refit_engine is None
+                or (task := self.refit_engine.pending_task()) is None
+                else task.state_dict()
+            ),
             "on_fallback": self.on_fallback,
             "buffer": self.buffer.state_dict(),
             "detector": self.detector.state_dict(),
@@ -802,6 +1019,8 @@ class FleetPredictor:
         self._step = int(state["step"])
         self._since_refit = int(state["since_refit"])
         self._refit_cursor = int(state["refit_cursor"])
+        self.model_version = int(state.get("model_version", 0))
+        self._model_step = int(state.get("model_step", -1))
         self.on_fallback = bool(state["on_fallback"])
         self.buffer.load_state_dict(state["buffer"])
         self.detector.load_state_dict(state["detector"])
@@ -815,6 +1034,22 @@ class FleetPredictor:
             if state["fallback_model"] is None
             else Forecaster.from_bytes(state["fallback_model"])
         )
+        pending = state.get("pending_refit")
+        if pending is not None and self.refit_engine is not None:
+            # deterministic resume: re-run the interrupted fit on the same
+            # pooled windows (a busy engine drops it — the restored refit
+            # clock reschedules with fresh data, also deterministically)
+            self.refit_engine.submit(RefitTask.from_state(pending))
+
+    def close(self) -> None:
+        """Release the background refit worker (no-op in sync mode).
+
+        Safe to call repeatedly; an in-flight fit is abandoned (its task
+        is recoverable from the last checkpoint). Sync-mode fleets have
+        nothing to release, so existing callers need not change.
+        """
+        if self.refit_engine is not None:
+            self.refit_engine.close()
 
     def save(self, path: str | Path) -> None:
         """Checkpoint the full fleet state atomically (crash-safe)."""

@@ -323,8 +323,12 @@ class OnlinePredictor:
             model.fit(x, y)
             return model
 
-        ok, model = self.refit_supervisor.run(attempt)
+        # reset the clock when the attempt *starts*: the supervisor only
+        # catches Exception, so a BaseException escaping the fit must not
+        # leave the scheduled trigger armed (it would re-fire a refit every
+        # subsequent tick) — same semantics as the fleet, sync and async
         self._since_refit = 0
+        ok, model = self.refit_supervisor.run(attempt)
         if ok:
             self.model = model
             self.on_fallback = False

@@ -1,0 +1,392 @@
+"""Async background refits with atomic weight swap.
+
+A pooled refit in :class:`~repro.streaming.fleet.FleetPredictor` used to
+run in-line with the serving tick, so the tick that triggered it paid
+the full fit cost — exactly the p99 tail spike that blocks 10^6-stream
+runs (ROADMAP item 3; cf. the pruned-GRU online predictor and esDNN in
+PAPERS.md, which both assume model updates never block serving).
+
+This module moves the fit off the serving path:
+
+* :class:`RefitTask` is a self-contained fit request — forecaster name +
+  kwargs, the pooled ``(x, y)`` training windows (copied, so the serving
+  ring can keep mutating), an optional warm-start payload (the current
+  model's bytes, resumed via :meth:`Forecaster.warm_fit`), and the fleet
+  step at submission (the staleness anchor). Tasks pickle, so an
+  in-flight refit survives checkpoint/restore by resubmission.
+* :class:`AsyncRefitEngine` owns one background worker — a daemon
+  thread (default; numpy kernels release the GIL so the fit genuinely
+  overlaps serving on multicore) or a persistent spawned process (full
+  isolation, pays one pickle of the task/model per refit) — with
+  **one task in flight at a time**: ``submit`` rejects while busy (the
+  caller's refit clock decides whether to retry next tick), ``poll`` is
+  the non-blocking serving-path call that collects a finished fit.
+* :class:`ModelSlot` is the atomic publication cell. The worker builds a
+  **fresh** model object and publishes the completed
+  ``(version, model, step)`` triple with a single reference assignment —
+  readers either see the old triple or the new one, never a
+  half-updated model (the hypothesis property test in
+  ``tests/streaming/test_async_refit.py`` hammers this from a reader
+  thread). The live serving model is never mutated by the worker; warm
+  starts resume a *copy* deserialized from bytes.
+
+The engine is mechanism only: the swap-adoption policy (when to poll,
+what counts as a failure, staleness accounting) lives with the caller
+in :class:`FleetPredictor`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..models.base import Forecaster, create_forecaster
+
+__all__ = ["RefitTask", "RefitOutcome", "ModelSlot", "AsyncRefitEngine", "fit_task"]
+
+_BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class RefitTask:
+    """One self-contained background fit request.
+
+    ``x``/``y`` are private copies of the pooled training windows —
+    the submitting predictor's ring buffer keeps mutating while the fit
+    runs, so the task must not alias serving memory. ``warm_state``
+    carries the current model's :meth:`Forecaster.to_bytes` payload when
+    the caller wants a warm-start resume; the worker deserializes a
+    *copy*, so the live model is never touched off-thread.
+    """
+
+    forecaster_name: str
+    forecaster_kwargs: dict[str, Any]
+    x: np.ndarray
+    y: np.ndarray
+    warm_state: bytes | None = None
+    warm_epochs: int | None = None
+    step: int = -1  #: fleet step at submission — anchors refit lag/staleness
+
+    def state_dict(self) -> dict:
+        """Checkpoint payload; inverse of :meth:`from_state`."""
+        return {
+            "forecaster_name": self.forecaster_name,
+            "forecaster_kwargs": dict(self.forecaster_kwargs),
+            "x": np.array(self.x),
+            "y": np.array(self.y),
+            "warm_state": self.warm_state,
+            "warm_epochs": self.warm_epochs,
+            "step": self.step,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RefitTask":
+        return cls(**state)
+
+
+@dataclass(frozen=True)
+class RefitOutcome:
+    """What the worker produced for one task (exactly one per submit)."""
+
+    ok: bool
+    model: Forecaster | None
+    task: RefitTask
+    error: str | None = None
+    fit_seconds: float = 0.0
+
+
+def fit_task(task: RefitTask) -> Forecaster:
+    """Execute one fit request; shared by both backends (and sync callers).
+
+    Warm path: deserialize the shipped weights and resume via
+    :meth:`Forecaster.warm_fit` with the task's epoch budget. Any warm
+    failure — corrupt payload, shape drift, model without warm support —
+    falls back to a fit-from-scratch, so a warm request can only ever
+    degrade to the cold behavior, never to no model.
+    """
+    if task.warm_state is not None:
+        try:
+            model = Forecaster.from_bytes(task.warm_state)
+            if getattr(model, "supports_warm_fit", False):
+                model.warm_fit(task.x, task.y, epochs=task.warm_epochs)
+                return model
+        except Exception:  # noqa: BLE001 — warm start is an optimization, not a contract
+            pass
+    model = create_forecaster(task.forecaster_name, **task.forecaster_kwargs)
+    model.fit(task.x, task.y)
+    return model
+
+
+class ModelSlot:
+    """Versioned atomic publication cell for model references.
+
+    Publication is a single reference assignment of an immutable
+    ``(version, model, step)`` triple — atomic under the GIL, so a
+    reader on any thread sees either the previous complete triple or
+    the new complete triple, never a torn mix of versions. The model
+    object inside a triple is fully constructed *before* the assignment
+    (the worker fits it first, then publishes), which is the
+    happens-before edge that makes the swap safe without locks on the
+    read path.
+    """
+
+    def __init__(self) -> None:
+        self._cell: tuple[int, Forecaster | None, int] = (0, None, -1)
+
+    @property
+    def version(self) -> int:
+        return self._cell[0]
+
+    def publish(self, model: Forecaster, step: int) -> int:
+        """Atomically install ``model``; returns the new version."""
+        version = self._cell[0] + 1
+        self._cell = (version, model, step)
+        return version
+
+    def read(self) -> tuple[int, Forecaster | None, int]:
+        """One consistent ``(version, model, step)`` snapshot."""
+        return self._cell
+
+
+def _process_worker(conn: Any) -> None:  # pragma: no cover - child process
+    """Persistent process backend: recv pickled tasks, send fitted bytes."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if msg[0] == "stop":
+            break
+        task: RefitTask = pickle.loads(msg[1])
+        t0 = time.perf_counter()
+        try:
+            model = fit_task(task)
+            conn.send(("ok", model.to_bytes(), time.perf_counter() - t0))
+        except Exception as exc:  # noqa: BLE001 — report, stay alive
+            conn.send(
+                ("error", f"{type(exc).__name__}: {exc}", time.perf_counter() - t0)
+            )
+    conn.close()
+
+
+class AsyncRefitEngine:
+    """One background fit at a time, results adopted via :class:`ModelSlot`.
+
+    Lifecycle per refit::
+
+        submit(task) -> True        # worker starts fitting off-path
+        busy -> True                # until the fit lands
+        poll() -> RefitOutcome      # non-blocking; exactly once per task
+
+    ``submit`` while a task is in flight (or its outcome unconsumed)
+    returns ``False`` — the caller's refit clock re-arms and tries again
+    later, so refit cadence degrades gracefully to
+    ``max(refit_interval, fit_time)`` instead of queueing stale work.
+
+    ``pending_task()`` exposes the task that has not yet been *adopted*
+    (in flight or finished-but-unpolled) so a checkpoint can persist it
+    and a restore can resubmit it deterministically.
+    """
+
+    def __init__(self, backend: str = "thread") -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.backend = backend
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending: RefitTask | None = None
+        self._outcome: RefitOutcome | None = None
+        self._closed = False
+        # thread backend
+        self._thread: threading.Thread | None = None
+        # process backend
+        self._proc: Any = None
+        self._conn: Any = None
+
+    # -- worker plumbing -------------------------------------------------------
+
+    def _ensure_thread(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(
+            target=self._thread_main, name="refit-worker", daemon=True
+        )
+        self._thread.start()
+
+    def _thread_main(self) -> None:
+        while True:
+            with self._cond:
+                while self._pending is None and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    return
+                task = self._pending
+            t0 = time.perf_counter()
+            try:
+                model = fit_task(task)
+                outcome = RefitOutcome(
+                    True, model, task, fit_seconds=time.perf_counter() - t0
+                )
+            except Exception as exc:  # noqa: BLE001 — failures become outcomes
+                outcome = RefitOutcome(
+                    False,
+                    None,
+                    task,
+                    error=f"{type(exc).__name__}: {exc}",
+                    fit_seconds=time.perf_counter() - t0,
+                )
+            with self._cond:
+                self._outcome = outcome
+                self._pending = None
+                self._cond.notify_all()
+
+    def _ensure_process(self) -> None:
+        if self._proc is not None and self._proc.is_alive():
+            return
+        ctx = mp.get_context("spawn")
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_process_worker, args=(child,), name="refit-worker", daemon=True
+        )
+        self._proc.start()
+        child.close()
+
+    def _poll_process(self) -> None:
+        """Drain a finished process fit (or its corpse) into the outcome slot."""
+        task = self._pending
+        if task is None:
+            return
+        try:
+            if not self._conn.poll(0):
+                if self._proc.is_alive():
+                    return
+                raise EOFError("refit worker process died")
+            kind, payload, fit_seconds = self._conn.recv()
+            if kind == "ok":
+                outcome = RefitOutcome(
+                    True, Forecaster.from_bytes(payload), task, fit_seconds=fit_seconds
+                )
+            else:
+                outcome = RefitOutcome(
+                    False, None, task, error=str(payload), fit_seconds=fit_seconds
+                )
+        except (EOFError, OSError) as exc:
+            outcome = RefitOutcome(False, None, task, error=f"worker died: {exc}")
+            self._proc = None  # respawned lazily on the next submit
+            self._conn = None
+        with self._cond:
+            self._outcome = outcome
+            self._pending = None
+            self._cond.notify_all()
+
+    # -- API -------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """A submitted task has not produced its outcome yet."""
+        if self.backend == "process":
+            self._poll_process()
+        with self._lock:
+            return self._pending is not None
+
+    def submit(self, task: RefitTask) -> bool:
+        """Hand a task to the worker; ``False`` if one is already in flight."""
+        if self._closed:
+            raise RuntimeError("AsyncRefitEngine is closed")
+        if self.backend == "process":
+            self._poll_process()
+            with self._lock:
+                if self._pending is not None or self._outcome is not None:
+                    return False
+                self._pending = task
+            self._ensure_process()
+            try:
+                self._conn.send(("fit", pickle.dumps(task, pickle.HIGHEST_PROTOCOL)))
+            except (BrokenPipeError, OSError) as exc:
+                with self._cond:
+                    self._outcome = RefitOutcome(
+                        False, None, task, error=f"worker pipe broken: {exc}"
+                    )
+                    self._pending = None
+                self._proc = None
+                self._conn = None
+            return True
+        with self._cond:
+            if self._pending is not None or self._outcome is not None:
+                return False
+            self._pending = task
+            self._cond.notify_all()
+        self._ensure_thread()
+        return True
+
+    def poll(self) -> RefitOutcome | None:
+        """Collect a finished fit, if any — non-blocking, the serving-path call."""
+        if self.backend == "process":
+            self._poll_process()
+        with self._lock:
+            outcome = self._outcome
+            self._outcome = None
+            return outcome
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the in-flight fit (if any) completes; ``True`` if idle."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        if self.backend == "process":
+            while True:
+                self._poll_process()
+                with self._lock:
+                    if self._pending is None:
+                        return True
+                if deadline is not None and time.perf_counter() >= deadline:
+                    return False
+                time.sleep(0.002)
+        with self._cond:
+            while self._pending is not None:
+                remaining = None if deadline is None else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def pending_task(self) -> RefitTask | None:
+        """The task not yet adopted by the caller (for checkpointing)."""
+        with self._lock:
+            if self._pending is not None:
+                return self._pending
+            if self._outcome is not None:
+                return self._outcome.task
+            return None
+
+    def close(self) -> None:
+        """Stop the worker; in-flight work is abandoned."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._cond:
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._proc is not None:
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._proc.join(timeout=5.0)
+            if self._proc.is_alive():  # pragma: no cover - stuck worker
+                self._proc.terminate()
+            self._conn.close()
+            self._proc = None
+            self._conn = None
+
+    def __enter__(self) -> "AsyncRefitEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -760,6 +760,22 @@ class Supervisor:
                 self._g_consecutive.set(0)
                 return True, result
 
+    def record(self, ok: bool, error: str | None = None) -> None:
+        """Count one externally executed attempt (the async refit path).
+
+        The async refit engine runs the fit off the serving thread with
+        no in-line retries; the owner reports the adopted outcome here,
+        so the failure-streak/health/fallback semantics stay identical
+        to a supervised in-line :meth:`run`.
+        """
+        self._c_calls.inc()
+        if ok:
+            self._g_consecutive.set(0)
+        else:
+            self.last_error = error
+            self._g_consecutive.inc()
+            self._c_failures.inc()
+
     # -- checkpointing ---------------------------------------------------------
 
     def state_dict(self) -> dict:

@@ -186,6 +186,7 @@ def _tick_specs(n_streams: int, features: int, shards: int) -> tuple[ShmArraySpe
         ShmArraySpec("health", (n_streams,), "|u1"),
         ShmArraySpec("gated", (n_streams,), "|i1"),
         ShmArraySpec("refit", (shards,), "|u1"),
+        ShmArraySpec("model_version", (shards,), "<i8"),
     )
 
 
@@ -302,6 +303,7 @@ def _shard_worker(
                 block["health"][lo:hi] = result.health
                 block["gated"][lo:hi] = result.gated
                 block["refit"][shard_index] = result.refit
+                block["model_version"][shard_index] = result.model_version
                 conn.send(("ok", step))
                 # background checkpoint AFTER the ack: the tick barrier never
                 # waits on serialization or disk
@@ -367,6 +369,10 @@ def _shard_worker(
                 conn.send(("error", f"{type(exc).__name__}: {exc}", _traceback.format_exc()))
             except (BrokenPipeError, OSError):
                 break
+    try:
+        predictor.close()  # release a per-shard async refit worker, if any
+    except Exception:  # noqa: BLE001 — shutdown best effort
+        pass
     conn.close()
 
 
@@ -805,6 +811,7 @@ class ShardedFleetPredictor:
         block = self._block
         block["ticks_in"][...] = arr
         block["refit"][...] = 0
+        block["model_version"][...] = 0
 
         dispatched: list[_ShardHandle] = []
         for h in live:
@@ -841,11 +848,16 @@ class ShardedFleetPredictor:
         live_mask = np.zeros(self.n_streams, dtype=bool)
         refit = False
         staleness = 0
+        # each shard refits independently, so per-shard versions diverge; the
+        # composed tick reports the *minimum* across live shards — the most
+        # conservative "every stream is served by at least this version"
+        live_versions: list[int] = []
         for h in self._handles:
             sl = slice(h.lo, h.hi)
             if h.state == "live":
                 live_mask[sl] = True
                 refit = refit or bool(block["refit"][h.index])
+                live_versions.append(int(block["model_version"][h.index]))
             elif h.state == "quarantined":
                 predictions[sl] = np.nan
                 errors[sl] = np.nan
@@ -883,6 +895,7 @@ class ShardedFleetPredictor:
             drift=drift,
             health=health,
             gated=gated,
+            model_version=min(live_versions) if live_versions else 0,
         )
 
     def run(self, ticks: np.ndarray) -> list[FleetTick]:
