@@ -3,19 +3,22 @@
 Serves one large synthetic fleet through the single-process
 :class:`~repro.streaming.fleet.FleetPredictor` and through
 :class:`~repro.streaming.shard.ShardedFleetPredictor` at increasing
-shard counts, recording records/sec per shard count into the same
-BENCH_serving.json entry the fleet bench writes (``shard_scaling``
-block). Correctness rides along unconditionally: shards=1 must be
-bit-identical to the single-process fleet on every emitted tick, and no
-worker may fail during the run.
+shard counts — each shard count twice, behind the lock-step barrier and
+through the two-deep tick pipeline — recording records/sec into the
+BENCH_serving.json entry the fleet bench writes (``shard_scaling`` and
+``shard_pipeline`` blocks). Correctness rides along unconditionally:
+shards=1 must be bit-identical to the single-process fleet on every
+emitted tick, pipelined ticks must be bit-identical to barrier ticks at
+every shard count, and no worker may fail during the run.
 
-The scaling gate is machine-dependent: on >= ``MIN_CORES_FOR_SCALING``
+The scaling gates are machine-dependent: on >= ``MIN_CORES_FOR_SCALING``
 usable cores, shards=4 must reach ``MIN_SPEEDUP_AT_4`` x the
-single-process records/sec at ``N_STREAMS``. On smaller machines (CI
-single-core runners included) the workers time-slice the same core, so
-the gate downgrades to parity-only and the recorded numbers are
-informational — ``check_regression.py`` skips wall-clock comparison
-across differing core counts for the same reason.
+single-process records/sec at ``N_STREAMS``, and the pipelined pass
+must reach ``MIN_PIPELINE_SPEEDUP`` x its barrier pass. On smaller
+machines (CI single-core runners included) the workers time-slice the
+same core, so the gates downgrade to parity-only and the recorded
+numbers are informational — ``check_regression.py`` skips wall-clock
+comparison across differing core counts for the same reason.
 
     python -m pytest benchmarks/test_shard_serving.py -q
 """
@@ -36,17 +39,42 @@ N_STREAMS = 4096
 MIN_CORES_FOR_SCALING = 4
 #: with >= MIN_CORES_FOR_SCALING usable cores, shards=4 must reach this
 MIN_SPEEDUP_AT_4 = 2.0
+#: ISSUE 10 acceptance: pipelined >= 1.2x barrier at shards=4 on >=4 cores
+MIN_PIPELINE_SPEEDUP = 1.2
+
+#: one scaling run feeds both the shard_scaling and shard_pipeline blocks
+_RESULT_CACHE: dict[int, object] = {}
 
 
 def _shards_list() -> tuple[int, ...]:
     return (1, 2, 4) if usable_cores() >= MIN_CORES_FOR_SCALING else (1, 2)
 
 
+def _scaling_result(profile):
+    key = id(profile)
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = run_shard_scaling(
+            profile, n_streams=N_STREAMS, shards_list=_shards_list()
+        )
+    return _RESULT_CACHE[key]
+
+
+def _write_bench_block(name: str, block: dict) -> None:
+    path = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    data = {"schema": "bench-serving/v1", "entries": {}}
+    if path.exists():
+        data = json.loads(path.read_text())
+    label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
+    entry = data["entries"].setdefault(label, {})
+    entry.update(machine_info())
+    entry[name] = block
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
 @pytest.mark.perf_smoke
 def test_perf_smoke_shard_scaling(profile):
     """shards=1 bit-parity always; shards=4 >= 2x single-process on >=4 cores."""
-    shards_list = _shards_list()
-    res = run_shard_scaling(profile, n_streams=N_STREAMS, shards_list=shards_list)
+    res = _scaling_result(profile)
 
     scaling = {
         "n_streams": res.n_streams,
@@ -64,16 +92,7 @@ def test_perf_smoke_shard_scaling(profile):
             for r in res.per_shards
         },
     }
-
-    path = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
-    data = {"schema": "bench-serving/v1", "entries": {}}
-    if path.exists():
-        data = json.loads(path.read_text())
-    label = os.environ.get("RPTCN_BENCH_LABEL", "working-tree")
-    entry = data["entries"].setdefault(label, {})
-    entry.update(machine_info())
-    entry["shard_scaling"] = scaling
-    path.write_text(json.dumps(data, indent=2) + "\n")
+    _write_bench_block("shard_scaling", scaling)
 
     assert res.parity_shard1, "shards=1 ticks diverged from single-process fleet"
     assert all(r.worker_failures == 0 for r in res.per_shards), (
@@ -86,5 +105,39 @@ def test_perf_smoke_shard_scaling(profile):
             f"shards=4 served {at4.records_per_sec:,.0f} rec/s vs single-process "
             f"{res.single_records_per_sec:,.0f} rec/s at N={N_STREAMS} — only "
             f"x{at4.speedup_vs_single:.2f}, need x{MIN_SPEEDUP_AT_4:.1f} "
+            f"on a {usable_cores()}-core machine"
+        )
+
+
+@pytest.mark.perf_smoke
+def test_perf_smoke_shard_pipeline(profile):
+    """Pipelined == barrier bit-for-bit always; >= 1.2x faster at 4 shards on >=4 cores."""
+    res = _scaling_result(profile)
+
+    pipeline = {
+        "n_streams": res.n_streams,
+        "ticks": res.ticks,
+        "per_shards": {
+            f"shards{r.shards}": {
+                "pipeline_records_per_sec": round(r.pipeline_records_per_sec, 1),
+                "pipeline_wall_seconds": round(r.pipeline_seconds, 4),
+                "pipeline_vs_barrier_x": round(r.pipeline_speedup, 2),
+                "parity": r.pipeline_parity,
+            }
+            for r in res.per_shards
+        },
+    }
+    _write_bench_block("shard_pipeline", pipeline)
+
+    bad_parity = [r.shards for r in res.per_shards if not r.pipeline_parity]
+    assert not bad_parity, (
+        f"pipelined ticks diverged from barrier ticks at shards={bad_parity}"
+    )
+    if usable_cores() >= MIN_CORES_FOR_SCALING:
+        at4 = res.result_at(4)
+        assert at4.pipeline_speedup >= MIN_PIPELINE_SPEEDUP, (
+            f"pipelined shards=4 served {at4.pipeline_records_per_sec:,.0f} rec/s "
+            f"vs barrier {at4.records_per_sec:,.0f} rec/s at N={N_STREAMS} — only "
+            f"x{at4.pipeline_speedup:.2f}, need x{MIN_PIPELINE_SPEEDUP:.1f} "
             f"on a {usable_cores()}-core machine"
         )

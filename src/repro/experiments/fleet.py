@@ -218,13 +218,23 @@ def run_fleet(
 
 @dataclass
 class ShardScaleResult:
-    """Throughput at one shard count for a fixed fleet size."""
+    """Throughput at one shard count for a fixed fleet size.
+
+    Each shard count is served twice: once behind the historical
+    lock-step barrier and once through the two-deep tick pipeline
+    (``pipeline=True``); the ``pipeline_*`` fields record the second
+    pass. ``pipeline_parity`` asserts the overlap changed no served bit.
+    """
 
     shards: int
     seconds: float
     records_per_sec: float
     speedup_vs_single: float  #: vs the single-process FleetPredictor
     worker_failures: int
+    pipeline_seconds: float = 0.0
+    pipeline_records_per_sec: float = 0.0
+    pipeline_speedup: float = 0.0  #: pipelined vs barrier at the same shard count
+    pipeline_parity: bool = True  #: pipelined ticks bit-identical to barrier
 
 
 @dataclass
@@ -252,6 +262,8 @@ def _ticks_parity(a, b) -> bool:
     """Bit-exact equality of two FleetTick sequences (NaN == NaN)."""
     for x, y in zip(a, b):
         if x.step != y.step or x.refit != y.refit:
+            return False
+        if x.model_version != y.model_version:
             return False
         for fld in ("predictions", "actuals", "errors", "drift", "health", "gated"):
             if not np.array_equal(getattr(x, fld), getattr(y, fld), equal_nan=True):
@@ -321,6 +333,23 @@ def run_shard_scaling(
                 result.parity_shard1 = _ticks_parity(single_out, sharded_out)
         finally:
             sharded.close(collect_metrics=False)
+        # second pass at the same shard count through the two-deep tick
+        # pipeline: composition of tick t overlaps shard compute of t+1
+        pipelined = ShardedFleetPredictor(
+            n_streams,
+            shards,
+            pipeline=True,
+            forecaster_name=model,
+            registry=MetricRegistry(),
+            **common,
+        )
+        try:
+            t0 = time.perf_counter()
+            pipelined_out = pipelined.run(streams)
+            pipeline_seconds = time.perf_counter() - t0
+            pipeline_parity = _ticks_parity(sharded_out, pipelined_out)
+        finally:
+            pipelined.close(collect_metrics=False)
         result.per_shards.append(
             ShardScaleResult(
                 shards=shards,
@@ -328,6 +357,10 @@ def run_shard_scaling(
                 records_per_sec=total / max(seconds, 1e-9),
                 speedup_vs_single=single_seconds / max(seconds, 1e-9),
                 worker_failures=failures,
+                pipeline_seconds=pipeline_seconds,
+                pipeline_records_per_sec=total / max(pipeline_seconds, 1e-9),
+                pipeline_speedup=seconds / max(pipeline_seconds, 1e-9),
+                pipeline_parity=pipeline_parity,
             )
         )
     return result

@@ -265,19 +265,25 @@ def _print_shard(profile: str, ctx: RunContext) -> None:
             r.shards,
             f"{r.records_per_sec:,.0f}",
             f"x{r.speedup_vs_single:.2f}",
+            f"{r.pipeline_records_per_sec:,.0f}",
+            f"x{r.pipeline_speedup:.2f}",
             f"{r.seconds:.3f}",
             r.worker_failures,
         ]
         for r in res.per_shards
     ]
     print(format_table(
-        ["shards", "rec/s", "vs single-proc", "wall s", "worker failures"],
+        ["shards", "barrier rec/s", "vs single-proc", "pipeline rec/s",
+         "pipeline vs barrier", "wall s", "worker failures"],
         rows,
         title=f"Sharded fleet serving, N={res.n_streams} "
         f"({res.model}, {res.ticks} ticks; single process = "
         f"{res.single_records_per_sec:,.0f} rec/s)",
     ))
     print(f"shards=1 bit-identical to FleetPredictor: {res.parity_shard1}")
+    pipe_parity = all(r.pipeline_parity for r in res.per_shards)
+    print(f"pipelined ticks bit-identical to barrier at every shard count: "
+          f"{pipe_parity}")
 
 
 def _print_chaos(profile: str, ctx: RunContext) -> None:

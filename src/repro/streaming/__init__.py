@@ -53,7 +53,14 @@ from .shard import (
     ShardedFleetPredictor,
     shard_boundaries,
 )
-from .shm import ShmArraySpec, ShmBlock, SharedMatrixRingBuffer, ring_specs
+from .shm import (
+    SharedMatrixRingBuffer,
+    ShmArraySpec,
+    ShmBlock,
+    SlottedShmBlock,
+    ring_specs,
+    slotted_specs,
+)
 
 __all__ = [
     "RollingBuffer",
@@ -70,8 +77,10 @@ __all__ = [
     "shard_boundaries",
     "SharedMatrixRingBuffer",
     "ShmBlock",
+    "SlottedShmBlock",
     "ShmArraySpec",
     "ring_specs",
+    "slotted_specs",
     "FleetGate",
     "FleetGateResult",
     "PageHinkley",

@@ -76,7 +76,7 @@ from .resilience import (
     SupervisorPolicy,
 )
 
-__all__ = ["FleetPredictor", "FleetTick"]
+__all__ = ["FleetPredictor", "FleetTick", "TickColumns"]
 
 #: health-gauge level -> HealthStatus (inverse of online._HEALTH_LEVEL)
 _HEALTH_BY_LEVEL = {level: status for status, level in _HEALTH_LEVEL.items()}
@@ -132,6 +132,87 @@ class FleetTick:
 
     def records(self) -> list[PredictionRecord]:
         return [self.record(i) for i in range(self.n_streams)]
+
+
+@dataclass
+class TickColumns:
+    """Mutable columnar staging area for composing one :class:`FleetTick`.
+
+    The sharded coordinator harvests live rows out of a shared-memory
+    bank, then overlays the rows of shards that could not serve —
+    quarantined shards go NaN, recovering shards hold their last served
+    prediction — and finishes into an immutable :class:`FleetTick`. The
+    overlay arithmetic lives here so the barrier and pipelined fan-in
+    paths compose ticks through literally the same code.
+    """
+
+    predictions: np.ndarray
+    actuals: np.ndarray
+    errors: np.ndarray
+    drift: np.ndarray
+    health: np.ndarray
+    gated: np.ndarray
+
+    @classmethod
+    def harvest(
+        cls,
+        predictions: np.ndarray,
+        actuals: np.ndarray,
+        errors: np.ndarray,
+        drift: np.ndarray,
+        health: np.ndarray,
+        gated: np.ndarray,
+    ) -> "TickColumns":
+        """Copy the six columnar outputs out of (possibly shared) storage."""
+        return cls(
+            predictions=np.array(predictions),
+            actuals=np.array(actuals),
+            errors=np.array(errors),
+            drift=np.array(drift),
+            health=np.array(health),
+            gated=np.array(gated),
+        )
+
+    def quarantine_rows(
+        self, sl: slice, raw_target: np.ndarray, *, health_level: int, gate_action: int
+    ) -> None:
+        """Rows of a durably-dead shard: NaN predictions, raw actuals."""
+        self.predictions[sl] = np.nan
+        self.errors[sl] = np.nan
+        self.actuals[sl] = raw_target
+        self.drift[sl] = False
+        self.health[sl] = health_level
+        self.gated[sl] = gate_action
+
+    def hold_rows(
+        self,
+        sl: slice,
+        raw_target: np.ndarray,
+        held: np.ndarray,
+        *,
+        health_level: int,
+        gate_action: int,
+    ) -> None:
+        """Rows of a recovering shard: serve the held last prediction."""
+        self.predictions[sl] = held
+        self.actuals[sl] = raw_target
+        self.errors[sl] = np.abs(held - raw_target)
+        self.drift[sl] = False
+        self.health[sl] = health_level
+        self.gated[sl] = gate_action
+
+    def finish(self, step: int, refit: bool, model_version: int) -> FleetTick:
+        return FleetTick(
+            step=step,
+            predictions=self.predictions,
+            actuals=self.actuals,
+            errors=self.errors,
+            refit=refit,
+            drift=self.drift,
+            health=self.health,
+            gated=self.gated,
+            model_version=model_version,
+        )
 
 
 class _FleetPageHinkley:

@@ -80,8 +80,10 @@ import os
 import signal
 import time
 import traceback as _traceback
+from collections import deque
 from dataclasses import dataclass
 from multiprocessing import get_context
+from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
 from typing import Any
 
@@ -99,9 +101,9 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .faults import ChaosSchedule, ProcessFault
-from .fleet import FleetPredictor, FleetTick
+from .fleet import FleetPredictor, FleetTick, TickColumns
 from .resilience import GATE_QUARANTINE
-from .shm import ShmArraySpec, ShmBlock, SharedMatrixRingBuffer, ring_specs
+from .shm import ShmArraySpec, SlottedShmBlock, SharedMatrixRingBuffer, ring_specs
 
 __all__ = [
     "ShardedFleetPredictor",
@@ -175,8 +177,22 @@ def shard_boundaries(n_streams: int, shards: int) -> tuple[int, ...]:
     return tuple((i * n_streams) // shards for i in range(shards + 1))
 
 
-def _tick_specs(n_streams: int, features: int, shards: int) -> tuple[ShmArraySpec, ...]:
-    """The per-tick fan-out/fan-in arrays (columnar FleetTick mirror)."""
+#: tick-pipeline depth — two banks: the coordinator writes tick t+1 into
+#: bank (t+1) % 2 while workers still compute tick t in bank t % 2
+_TICK_BANKS = 2
+
+#: the six columnar FleetTick output fields mirrored through shared memory
+_TICK_OUT_FIELDS = ("predictions", "actuals", "errors", "drift", "health", "gated")
+
+
+def _tick_specs(n_streams: int, features: int) -> tuple[ShmArraySpec, ...]:
+    """The per-tick fan-out/fan-in arrays (columnar FleetTick mirror).
+
+    These are slotted into :data:`_TICK_BANKS` banks by the coordinator;
+    the per-shard ``refit`` flag and ``model_version`` travel in the tick
+    ack token instead (so swap adoption is event-driven, not a barrier
+    read).
+    """
     return (
         ShmArraySpec("ticks_in", (n_streams, features), "<f8"),
         ShmArraySpec("predictions", (n_streams,), "<f8"),
@@ -185,8 +201,6 @@ def _tick_specs(n_streams: int, features: int, shards: int) -> tuple[ShmArraySpe
         ShmArraySpec("drift", (n_streams,), "|b1"),
         ShmArraySpec("health", (n_streams,), "|u1"),
         ShmArraySpec("gated", (n_streams,), "|i1"),
-        ShmArraySpec("refit", (shards,), "|u1"),
-        ShmArraySpec("model_version", (shards,), "<i8"),
     )
 
 
@@ -194,6 +208,7 @@ def _shard_worker(
     conn: Any,
     shm_name: str,
     specs: tuple[ShmArraySpec, ...],
+    shared_specs: tuple[ShmArraySpec, ...],
     shard_index: int,
     lo: int,
     hi: int,
@@ -207,7 +222,12 @@ def _shard_worker(
 
     Runs in a spawned child with a clean interpreter. All per-tick data
     moves through the attached shm block; the pipe carries only control
-    tokens and the rare state/metrics payloads.
+    tokens and the rare state/metrics payloads. The tick arrays are
+    double-buffered: step ``t`` reads its input from (and writes its
+    outputs to) bank ``t % 2``, so the coordinator can stage tick t+1
+    while this worker still computes tick t. The tick ack carries the
+    shard's ``refit`` flag and live ``model_version`` so the coordinator
+    adopts async-refit swaps on the ack itself, not at a barrier read.
 
     ``restore_path`` (set on supervised respawn) is a best-effort
     background checkpoint: intact → resume from it; missing/corrupt →
@@ -228,7 +248,7 @@ def _shard_worker(
         return predictor
 
     try:
-        block = ShmBlock.attach(specs, shm_name)
+        block = SlottedShmBlock.attach(specs, _TICK_BANKS, shm_name, shared=shared_specs)
         predictor = _fresh_predictor()
         restored_step: int | None = None
         if restore_path is not None:
@@ -294,17 +314,18 @@ def _shard_worker(
                         continue
                     if fault.kind == "slow":
                         time.sleep(fault.duration)
-                tick = np.array(block["ticks_in"][lo:hi])
+                bank = block.bank(step)
+                tick = np.array(bank["ticks_in"][lo:hi])
                 result = predictor.process_tick(tick)
-                block["predictions"][lo:hi] = result.predictions
-                block["actuals"][lo:hi] = result.actuals
-                block["errors"][lo:hi] = result.errors
-                block["drift"][lo:hi] = result.drift
-                block["health"][lo:hi] = result.health
-                block["gated"][lo:hi] = result.gated
-                block["refit"][shard_index] = result.refit
-                block["model_version"][shard_index] = result.model_version
-                conn.send(("ok", step))
+                bank["predictions"][lo:hi] = result.predictions
+                bank["actuals"][lo:hi] = result.actuals
+                bank["errors"][lo:hi] = result.errors
+                bank["drift"][lo:hi] = result.drift
+                bank["health"][lo:hi] = result.health
+                bank["gated"][lo:hi] = result.gated
+                # the ack is the event that publishes this shard's refit flag
+                # and model version — the coordinator adopts them on receipt
+                conn.send(("ok", step, int(result.refit), int(result.model_version)))
                 # background checkpoint AFTER the ack: the tick barrier never
                 # waits on serialization or disk
                 if (
@@ -321,6 +342,10 @@ def _shard_worker(
                                 "lo": lo,
                                 "hi": hi,
                                 "step": step,
+                                # which double-buffer bank this step served
+                                # from — restore tooling can tell whether a
+                                # snapshot raced an in-flight pipeline step
+                                "bank": step % _TICK_BANKS,
                                 "state": predictor.state_dict(),
                             },
                         )
@@ -421,6 +446,27 @@ class _ShardHandle:
         return self.state == "live"
 
 
+class _InFlightTick:
+    """One dispatched-but-not-yet-composed tick of the pipeline.
+
+    ``pending`` maps each dispatched worker's pipe to its handle until
+    the ack arrives; ``acks`` collects ``shard_index -> (refit,
+    model_version)`` as acks are harvested. Composition keys off
+    ``acks`` — a shard that failed (or went live again) between
+    dispatch and collect has no ack for this step and its rows resolve
+    through the degraded path.
+    """
+
+    __slots__ = ("step", "arr", "pending", "acks", "t0")
+
+    def __init__(self, step: int, arr: np.ndarray, t0: float) -> None:
+        self.step = step
+        self.arr = arr
+        self.pending: dict[Any, _ShardHandle] = {}
+        self.acks: dict[int, tuple[bool, int]] = {}
+        self.t0 = t0
+
+
 class ShardedFleetPredictor:
     """Drive N streams through ``shards`` supervised FleetPredictor workers.
 
@@ -433,12 +479,23 @@ class ShardedFleetPredictor:
         Worker process count; streams partition contiguously and evenly
         (:func:`shard_boundaries`). ``shards=1`` is bit-identical to a
         single-process :class:`FleetPredictor`.
+    pipeline:
+        ``True`` makes :meth:`run` drive a two-deep tick pipeline:
+        tick *t+1* is staged into the other shm bank and dispatched
+        *before* tick *t* is harvested, so coordinator-side composition
+        overlaps shard compute. Predictions are bit-identical either
+        way (the workers run the same computation in the same order);
+        only wall-clock changes. ``False`` (default) keeps the
+        historical lock-step barrier. Custom drivers can pipeline
+        explicitly via :meth:`submit_tick` / :meth:`collect_tick`.
     tick_timeout:
-        Seconds the coordinator waits for a worker's tick token before
-        declaring the shard failed — this is what detects a *hung*
-        worker, not just a dead pipe (``None`` blocks until the pipe
-        closes — a killed worker still fails fast via EOF, but a
-        deadlocked one stalls the fleet).
+        Seconds the coordinator budgets for one tick's whole fan-in —
+        a *shared* per-tick deadline over all outstanding shards, not a
+        per-shard charge, so k slow shards cost one timeout, never
+        k × timeout. This is what detects a *hung* worker, not just a
+        dead pipe (``None`` blocks until the pipe closes — a killed
+        worker still fails fast via EOF, but a deadlocked one stalls
+        the fleet).
     control_timeout:
         Deadline for the rare-path commands (``stats``/``save``/
         ``load``/``metrics``); a worker that misses it is marked failed
@@ -473,6 +530,7 @@ class ShardedFleetPredictor:
         n_streams: int,
         shards: int = 2,
         *,
+        pipeline: bool = False,
         tick_timeout: float | None = 60.0,
         control_timeout: float | None = 60.0,
         respawn: RespawnPolicy | None = RespawnPolicy(),
@@ -498,6 +556,7 @@ class ShardedFleetPredictor:
         self.n_streams = n_streams
         self.shards = shards
         self.boundaries = shard_boundaries(n_streams, shards)
+        self.pipeline = bool(pipeline)
         self.tick_timeout = tick_timeout
         self.control_timeout = control_timeout
         self.respawn = respawn
@@ -572,19 +631,28 @@ class ShardedFleetPredictor:
         ):
             self._registry.register(inst)
 
-        self._step = 0
+        self._step = 0  #: ticks composed (collected) so far
+        self._submitted = 0  #: ticks dispatched to the workers so far
+        self._inflight: deque[_InFlightTick] = deque()
         self._closed = False
         self.worker_failures = 0
         self.respawns = 0
         self.errors: list[str] = []
         self._last_predictions = np.full(n_streams, np.nan)
+        #: ticks from the most recent shard failure to its restored worker
+        self.last_recovery_ticks: int | None = None
+        #: per-shard model version as carried by the latest tick ack —
+        #: async-refit swaps are adopted event-driven, on the ack itself
+        self._shard_versions = np.zeros(shards, dtype=np.int64)
+        self._last_compose_t: float | None = None
 
-        specs = _tick_specs(n_streams, self.features, shards) + ring_specs(
-            n_streams, self.buffer_capacity, self.features
+        self._specs = _tick_specs(n_streams, self.features)
+        self._shared_specs = ring_specs(n_streams, self.buffer_capacity, self.features)
+        self._block = SlottedShmBlock.create(
+            self._specs, _TICK_BANKS, shared=self._shared_specs
         )
-        self._specs = specs
-        self._block = ShmBlock.create(specs)
-        self._block["ticks_in"][...] = np.nan
+        for slot in range(_TICK_BANKS):
+            self._block["ticks_in", slot][...] = np.nan
         self._ring: SharedMatrixRingBuffer | None = SharedMatrixRingBuffer.from_arrays(
             self._block["ring_data"], self._block["ring_head"], self._block["ring_size"]
         )
@@ -650,6 +718,7 @@ class ShardedFleetPredictor:
                 child_conn,
                 self._block.name,
                 self._specs,
+                self._shared_specs,
                 index,
                 lo,
                 hi,
@@ -768,8 +837,13 @@ class ShardedFleetPredictor:
                     self._mark_failed(h, f"respawn startup failed: {detail}")
                     continue
                 h.restored_step = reply[3] if len(reply) > 3 else None
-                if h.failed_step is not None and is_enabled():
-                    self._h_recovery.observe(float(self._step - h.failed_step))
+                # recovery accounting is pure bookkeeping; only the histogram
+                # observation is conditional on obs — a disabled registry must
+                # never change supervision state or recovery-tick arithmetic
+                if h.failed_step is not None:
+                    self.last_recovery_ticks = self._step - h.failed_step
+                    if is_enabled():
+                        self._h_recovery.observe(float(self.last_recovery_ticks))
                 h.state = "live"
                 h.consecutive_failures = 0
                 h.failed_step = None
@@ -781,16 +855,33 @@ class ShardedFleetPredictor:
 
     # -- serving ----------------------------------------------------------------
 
-    def process_tick(self, tick: np.ndarray) -> FleetTick:
-        """One fleet step across every live shard.
+    @property
+    def inflight(self) -> int:
+        """Ticks dispatched but not yet collected (0 outside a pipeline)."""
+        return len(self._inflight)
 
-        Rows of a shard under supervised recovery hold the last served
-        prediction (``health=3``, RECOVERING); rows of a quarantined
-        shard are NaN (``health=2``). Raises :class:`AllShardsFailedError`
+    def _assert_no_inflight(self, what: str) -> None:
+        if self._inflight:
+            raise RuntimeError(
+                f"{what} requires an idle tick pipeline; "
+                f"{len(self._inflight)} tick(s) in flight — collect_tick() first"
+            )
+
+    def submit_tick(self, tick: np.ndarray) -> int:
+        """Stage one tick into the next shm bank and dispatch it; returns its step.
+
+        At most :data:`_TICK_BANKS` ticks may be in flight — a third
+        submit would overwrite the bank the oldest outstanding tick is
+        still being computed in. Raises :class:`AllShardsFailedError`
         once every shard is quarantined.
         """
         if self._closed:
             raise RuntimeError("ShardedFleetPredictor is closed")
+        if len(self._inflight) >= _TICK_BANKS:
+            raise RuntimeError(
+                f"tick pipeline is full ({_TICK_BANKS} in flight) — "
+                "collect_tick() before submitting more"
+            )
         self._supervise()
         live = [h for h in self._handles if h.state == "live"]
         if not live and all(h.state == "quarantined" for h in self._handles):
@@ -807,107 +898,214 @@ class ShardedFleetPredictor:
                 f"expected tick of shape ({self.n_streams}, {self.features}), "
                 f"got {arr.shape}"
             )
-        t0 = time.perf_counter()
-        block = self._block
-        block["ticks_in"][...] = arr
-        block["refit"][...] = 0
-        block["model_version"][...] = 0
-
-        dispatched: list[_ShardHandle] = []
+        step = self._submitted
+        entry = _InFlightTick(step, arr, time.perf_counter())
+        self._block.bank(step)["ticks_in"][...] = arr
         for h in live:
             try:
-                h.conn.send(("tick", self._step))
-                dispatched.append(h)
+                h.conn.send(("tick", step))
+                entry.pending[h.conn] = h
             except (BrokenPipeError, OSError) as exc:
                 self._mark_failed(h, f"pipe closed on dispatch ({exc})")
-        for h in dispatched:
-            try:
-                if self.tick_timeout is not None and not h.conn.poll(self.tick_timeout):
-                    kind = "hung" if h.proc.is_alive() else "dead"
-                    raise TimeoutError(
-                        f"no tick reply within {self.tick_timeout}s ({kind} worker)"
-                    )
-                reply = h.conn.recv()
-                if not (isinstance(reply, tuple) and reply and reply[0] == "ok"):
-                    if isinstance(reply, tuple) and len(reply) > 1 and reply[0] == "error":
-                        raise RuntimeError(f"tick errored in worker: {reply[1]}")
-                    raise RuntimeError(f"corrupt tick reply: {reply!r}")
-                if len(reply) > 1 and reply[1] != self._step:
-                    raise RuntimeError(
-                        f"tick ack for step {reply[1]!r}, expected {self._step}"
-                    )
-            except (EOFError, OSError, TimeoutError, RuntimeError) as exc:
-                self._mark_failed(h, str(exc))
+        self._inflight.append(entry)
+        self._submitted += 1
+        return step
 
-        predictions = np.array(block["predictions"])
-        actuals = np.array(block["actuals"])
-        errors = np.array(block["errors"])
-        drift = np.array(block["drift"])
-        health = np.array(block["health"])
-        gated = np.array(block["gated"])
-        live_mask = np.zeros(self.n_streams, dtype=bool)
+    def _fan_in(self, entry: _InFlightTick) -> None:
+        """Harvest every outstanding ack of ``entry`` under one shared deadline.
+
+        ``multiprocessing.connection.wait`` multiplexes all pending
+        pipes, so fast shards are absorbed the moment they ack and slow
+        ones burn down *one* per-tick budget concurrently — the
+        worst case is ``tick_timeout``, never ``shards × tick_timeout``.
+        """
+        # a shard that failed — or was respawned onto a fresh pipe — since
+        # dispatch cannot ack this step anymore; its rows resolve through
+        # the degraded path (conn identity catches the respawn case)
+        pending = {
+            c: h
+            for c, h in entry.pending.items()
+            if h.state == "live" and h.conn is c
+        }
+        deadline = (
+            None if self.tick_timeout is None else entry.t0 + self.tick_timeout
+        )
+        while pending:
+            if deadline is None:
+                ready = _conn_wait(list(pending))
+            else:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    for h in pending.values():
+                        kind = "hung" if h.proc.is_alive() else "dead"
+                        self._mark_failed(
+                            h,
+                            f"no tick reply within {self.tick_timeout}s "
+                            f"({kind} worker)",
+                        )
+                    return
+                ready = _conn_wait(list(pending), remaining)
+                if not ready:
+                    continue
+            for conn in ready:
+                h = pending.pop(conn)
+                try:
+                    reply = conn.recv()
+                    if not (isinstance(reply, tuple) and reply and reply[0] == "ok"):
+                        if (
+                            isinstance(reply, tuple)
+                            and len(reply) > 1
+                            and reply[0] == "error"
+                        ):
+                            raise RuntimeError(f"tick errored in worker: {reply[1]}")
+                        raise RuntimeError(f"corrupt tick reply: {reply!r}")
+                    if len(reply) > 1 and reply[1] != entry.step:
+                        raise RuntimeError(
+                            f"tick ack for step {reply[1]!r}, expected {entry.step}"
+                        )
+                except (EOFError, OSError, RuntimeError) as exc:
+                    self._mark_failed(h, str(exc))
+                    continue
+                refit = bool(reply[2]) if len(reply) > 2 else False
+                version = int(reply[3]) if len(reply) > 3 else 0
+                entry.acks[h.index] = (refit, version)
+                # event-driven swap adoption: the shard's live model version
+                # lands the moment its ack does, not at the next barrier
+                self._shard_versions[h.index] = version
+
+    def collect_tick(self) -> FleetTick:
+        """Harvest and compose the oldest in-flight tick.
+
+        Rows of a shard under supervised recovery hold the last served
+        prediction (``health=3``, RECOVERING); rows of a quarantined
+        shard are NaN (``health=2``). A shard that died with this tick
+        in flight resolves the same way — every in-flight step it was
+        dispatched degrades, none is silently dropped.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedFleetPredictor is closed")
+        if not self._inflight:
+            raise RuntimeError("no tick in flight — submit_tick() first")
+        entry = self._inflight.popleft()
+        self._fan_in(entry)
+
+        bank = self._block.bank(entry.step)
+        cols = TickColumns.harvest(*(bank[f] for f in _TICK_OUT_FIELDS))
+        served_mask = np.zeros(self.n_streams, dtype=bool)
         refit = False
         staleness = 0
         # each shard refits independently, so per-shard versions diverge; the
-        # composed tick reports the *minimum* across live shards — the most
+        # composed tick reports the *minimum* across acked shards — the most
         # conservative "every stream is served by at least this version"
-        live_versions: list[int] = []
+        acked_versions: list[int] = []
         for h in self._handles:
             sl = slice(h.lo, h.hi)
-            if h.state == "live":
-                live_mask[sl] = True
-                refit = refit or bool(block["refit"][h.index])
-                live_versions.append(int(block["model_version"][h.index]))
+            ack = entry.acks.get(h.index)
+            if ack is not None:
+                served_mask[sl] = True
+                refit = refit or ack[0]
+                acked_versions.append(ack[1])
             elif h.state == "quarantined":
-                predictions[sl] = np.nan
-                errors[sl] = np.nan
-                actuals[sl] = arr[sl, self.target_col]
-                drift[sl] = False
-                health[sl] = _DEAD_HEALTH
-                gated[sl] = _DEAD_GATED
-            else:  # down / respawning — degraded mode: hold the last prediction
-                held = self._last_predictions[sl]
-                predictions[sl] = held
-                actuals[sl] = arr[sl, self.target_col]
-                errors[sl] = np.abs(held - actuals[sl])
-                drift[sl] = False
-                health[sl] = _RECOVERING_HEALTH
-                gated[sl] = _DEAD_GATED
+                cols.quarantine_rows(
+                    sl,
+                    entry.arr[sl, self.target_col],
+                    health_level=_DEAD_HEALTH,
+                    gate_action=_DEAD_GATED,
+                )
+            else:  # down / respawning / freshly-respawned — hold the last prediction
+                cols.hold_rows(
+                    sl,
+                    entry.arr[sl, self.target_col],
+                    self._last_predictions[sl],
+                    health_level=_RECOVERING_HEALTH,
+                    gate_action=_DEAD_GATED,
+                )
                 if h.failed_step is not None:
-                    staleness = max(staleness, self._step - h.failed_step + 1)
-        upd = live_mask & np.isfinite(predictions)
-        self._last_predictions[upd] = predictions[upd]
+                    staleness = max(staleness, entry.step - h.failed_step + 1)
+        upd = served_mask & np.isfinite(cols.predictions)
+        self._last_predictions[upd] = cols.predictions[upd]
 
+        # serving bookkeeping runs unconditionally — only the instrument
+        # writes below are gated on obs, so a disabled registry can never
+        # skew step, staleness or recovery-tick accounting
         self._step += 1
+        now = time.perf_counter()
+        elapsed = now - entry.t0
+        # pipelined ticks overlap, so per-tick wall clock is the compose-to-
+        # compose gap; the submit-to-collect elapsed is the serving latency
+        gap = elapsed if self._last_compose_t is None else now - self._last_compose_t
+        self._last_compose_t = now
         if is_enabled():
-            elapsed = time.perf_counter() - t0
             self._h_latency.observe(elapsed)
             self._c_ticks.inc()
             self._g_staleness.set(float(staleness))
-            if elapsed > 0:
-                self._g_throughput.set(self.n_streams / elapsed)
-        return FleetTick(
-            step=self._step - 1,
-            predictions=predictions,
-            actuals=actuals,
-            errors=errors,
+            if gap > 0:
+                self._g_throughput.set(self.n_streams / gap)
+        return cols.finish(
+            step=entry.step,
             refit=refit,
-            drift=drift,
-            health=health,
-            gated=gated,
-            model_version=min(live_versions) if live_versions else 0,
+            model_version=min(acked_versions) if acked_versions else 0,
         )
 
+    def process_tick(self, tick: np.ndarray) -> FleetTick:
+        """One fleet step across every live shard (submit + collect barrier).
+
+        See :meth:`collect_tick` for the degraded-row semantics. Cannot
+        be interleaved with an explicitly pipelined submit — collect
+        outstanding ticks first.
+        """
+        self._assert_no_inflight("process_tick")
+        self.submit_tick(tick)
+        return self.collect_tick()
+
     def run(self, ticks: np.ndarray) -> list[FleetTick]:
-        """Process a ``(T, n_streams[, features])`` tick matrix sequentially."""
+        """Process a ``(T, n_streams[, features])`` tick matrix sequentially.
+
+        With ``pipeline=True`` the loop is two-deep: tick *t+1* is
+        staged and dispatched before tick *t* is harvested, overlapping
+        coordinator-side composition with shard compute. Outputs are
+        bit-identical to the barrier loop either way.
+        """
         ticks = np.asarray(ticks, float)
         if ticks.ndim == 2 and self.features == 1:
             ticks = ticks[:, :, None]
         with obs_trace.span("serving.shard_run") as sp:
-            out = [self.process_tick(t) for t in ticks]
+            if not self.pipeline or len(ticks) < 2:
+                out = [self.process_tick(t) for t in ticks]
+            else:
+                self._assert_no_inflight("run")
+                out = []
+                try:
+                    self.submit_tick(ticks[0])
+                    for t in ticks[1:]:
+                        self.submit_tick(t)
+                        out.append(self.collect_tick())
+                    out.append(self.collect_tick())
+                except BaseException:
+                    self._drain_inflight()
+                    raise
             sp.add("ticks", len(out))
             sp.add("records", len(out) * self.n_streams)
+            sp.add("pipeline", self.pipeline)
         return out
+
+    def _drain_inflight(self) -> None:
+        """Best-effort absorb outstanding tick acks (error paths + close).
+
+        The results are discarded — this only clears the pipes so later
+        control traffic (metrics harvest, stop tokens) cannot mistake a
+        stale tick ack for its reply.
+        """
+        while self._inflight:
+            entry = self._inflight.popleft()
+            for conn, h in entry.pending.items():
+                if h.state != "live" or h.conn is not conn:
+                    continue
+                try:
+                    if conn.poll(min(self.tick_timeout or 5.0, 5.0)):
+                        conn.recv()
+                except (EOFError, OSError):
+                    self._mark_failed(h, "pipe closed while draining the pipeline")
 
     def stream_history(self, stream: int) -> np.ndarray:
         """One stream's buffered records, oldest first — zero-IPC shm read.
@@ -917,6 +1115,7 @@ class ShardedFleetPredictor:
         """
         if self._ring is None:
             raise RuntimeError("ShardedFleetPredictor is closed")
+        self._assert_no_inflight("stream_history")
         if not 0 <= stream < self.n_streams:
             raise IndexError(f"stream must be in [0, {self.n_streams}), got {stream}")
         return self._ring.view(stream)
@@ -931,6 +1130,9 @@ class ShardedFleetPredictor:
         marked failed exactly like a tick timeout — no control path can
         wedge the coordinator.
         """
+        # a control recv while a tick is in flight would swallow the tick
+        # ack (both travel the same pipe) — the pipeline must be idle
+        self._assert_no_inflight(f"control command {command[0]!r}")
         if handle.state != "live":
             raise RuntimeError(
                 f"shard {handle.index} is {handle.state}; "
@@ -971,6 +1173,7 @@ class ShardedFleetPredictor:
 
     def stats(self) -> dict[str, Any]:
         """Fleet-wide serving statistics plus per-shard detail and failures."""
+        self._assert_no_inflight("stats")
         per_shard: list[dict[str, Any]] = []
         totals = {"n_predictions": 0, "sum_abs_error": 0.0, "n_refits": 0,
                   "n_refit_failures": 0, "n_drifts": 0, "n_quarantined": 0}
@@ -1033,6 +1236,7 @@ class ShardedFleetPredictor:
                 str(self.checkpoint_dir) if self.checkpoint_dir is not None else None
             ),
             "checkpoint_interval": self.checkpoint_interval,
+            "pipeline": self.pipeline,
             "fleet_kwargs": dict(self.fleet_kwargs),
         }
 
@@ -1042,6 +1246,7 @@ class ShardedFleetPredictor:
         Refuses to checkpoint a degraded fleet: a snapshot missing a
         shard could silently restore a smaller fleet.
         """
+        self._assert_no_inflight("save")
         if self.failed_shards:
             raise RuntimeError(
                 f"cannot checkpoint with failed shards {list(self.failed_shards)}"
@@ -1096,6 +1301,8 @@ class ShardedFleetPredictor:
             except RuntimeError as exc:
                 raise CheckpointError(str(exc)) from exc
         self._step = int(state["step"])
+        self._submitted = self._step
+        self._last_compose_t = None
         self._last_predictions[:] = np.nan
 
     @classmethod
@@ -1115,6 +1322,7 @@ class ShardedFleetPredictor:
             "respawn": cfg.get("respawn", RespawnPolicy()),
             "checkpoint_dir": cfg.get("checkpoint_dir"),
             "checkpoint_interval": cfg.get("checkpoint_interval"),
+            "pipeline": cfg.get("pipeline", False),
             **cfg["fleet_kwargs"],
         }
         kwargs.update(overrides)
@@ -1171,6 +1379,11 @@ class ShardedFleetPredictor:
         """
         if self._closed:
             return
+        # absorb outstanding tick acks first — the metrics harvest and the
+        # stop handshake share the pipes, and a queued tick ack would be
+        # mistaken for their replies
+        if getattr(self, "_inflight", None):
+            self._drain_inflight()
         self._closed = True
         for h in getattr(self, "_handles", []):
             graceful = h.state == "live"

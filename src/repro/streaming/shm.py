@@ -15,6 +15,13 @@ Two building blocks live here:
   numpy arrays from a declarative list of :class:`ShmArraySpec`. The
   creating process owns the segment (and unlinks it); attaching
   processes get views over the same pages.
+* :class:`SlottedShmBlock` — an :class:`ShmBlock` whose per-tick arrays
+  exist in ``slots`` independent banks keyed by ``step % slots``, so a
+  tick pipeline can write tick *t+1* into one bank while readers still
+  consume tick *t* from the other. Bank arrays never alias (each bank
+  copy is its own aligned extent in the segment layout — property-tested
+  in ``tests/streaming/test_shm_buffer.py``); ``shared`` specs opt out
+  of slotting for state that must be one copy (e.g. the history ring).
 * :class:`SharedMatrixRingBuffer` — a
   :class:`~repro.streaming.buffer.MatrixRingBuffer` whose storage
   (data + per-stream heads and sizes) lives in an :class:`ShmBlock`, so
@@ -46,7 +53,14 @@ import numpy as np
 
 from .buffer import MatrixRingBuffer
 
-__all__ = ["ShmArraySpec", "ShmBlock", "SharedMatrixRingBuffer", "ring_specs"]
+__all__ = [
+    "ShmArraySpec",
+    "ShmBlock",
+    "SlottedShmBlock",
+    "SharedMatrixRingBuffer",
+    "ring_specs",
+    "slotted_specs",
+]
 
 #: every array in a block starts on a 64-byte boundary (cache-line size)
 _ALIGN = 64
@@ -156,6 +170,141 @@ class ShmBlock:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover — already gone
                 pass
+
+    def __del__(self) -> None:  # pragma: no cover — GC safety net
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def slotted_specs(
+    specs: tuple[ShmArraySpec, ...] | list[ShmArraySpec], slots: int
+) -> tuple[ShmArraySpec, ...]:
+    """``slots`` independent copies of every spec; bank ``k`` is ``name@k``.
+
+    The copies are distinct entries in the block layout, so every bank
+    occupies its own aligned extent — banks can never alias.
+    """
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1, got {slots}")
+    return tuple(
+        ShmArraySpec(f"{spec.name}@{slot}", spec.shape, spec.dtype)
+        for slot in range(slots)
+        for spec in specs
+    )
+
+
+class _ShmBank:
+    """Read/write view of one bank of a :class:`SlottedShmBlock`."""
+
+    __slots__ = ("_block", "_slot")
+
+    def __init__(self, block: "SlottedShmBlock", slot: int) -> None:
+        self._block = block
+        self._slot = slot
+
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    def __getitem__(self, field: str) -> np.ndarray:
+        return self._block.array(field, self._slot)
+
+    def __contains__(self, field: str) -> bool:
+        return (field, self._slot) in self._block
+
+
+class SlottedShmBlock:
+    """A shared block whose per-tick arrays exist in ``slots`` banks.
+
+    A two-deep tick pipeline writes tick *t+1* into ``bank(t + 1)``
+    while workers still compute (and readers still harvest) tick *t*
+    from ``bank(t)`` — with ``slots=2`` consecutive steps land in
+    disjoint banks by construction. ``shared`` specs are carved into the
+    same segment *unslotted* for state that must be a single copy (the
+    fleet history ring); address those through :meth:`__getitem__` with
+    a bare name.
+
+    Ownership follows :class:`ShmBlock`: one creator (who unlinks on
+    close), any number of spawned attachers.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[ShmArraySpec, ...],
+        shared: tuple[ShmArraySpec, ...],
+        slots: int,
+        block: ShmBlock,
+    ) -> None:
+        self.specs = tuple(specs)
+        self.shared = tuple(shared)
+        self.slots = int(slots)
+        self._block = block
+
+    @staticmethod
+    def _layout_specs(
+        specs: tuple[ShmArraySpec, ...] | list[ShmArraySpec],
+        shared: tuple[ShmArraySpec, ...] | list[ShmArraySpec],
+        slots: int,
+    ) -> tuple[ShmArraySpec, ...]:
+        return slotted_specs(specs, slots) + tuple(shared)
+
+    @classmethod
+    def create(
+        cls,
+        specs: tuple[ShmArraySpec, ...] | list[ShmArraySpec],
+        slots: int = 2,
+        shared: tuple[ShmArraySpec, ...] | list[ShmArraySpec] = (),
+    ) -> "SlottedShmBlock":
+        """Allocate one owning segment holding every bank plus ``shared``."""
+        block = ShmBlock.create(cls._layout_specs(specs, shared, slots))
+        return cls(tuple(specs), tuple(shared), slots, block)
+
+    @classmethod
+    def attach(
+        cls,
+        specs: tuple[ShmArraySpec, ...] | list[ShmArraySpec],
+        slots: int,
+        name: str,
+        shared: tuple[ShmArraySpec, ...] | list[ShmArraySpec] = (),
+    ) -> "SlottedShmBlock":
+        """Map a creator's slotted segment by name (non-owning)."""
+        block = ShmBlock.attach(cls._layout_specs(specs, shared, slots), name)
+        return cls(tuple(specs), tuple(shared), slots, block)
+
+    @property
+    def name(self) -> str:
+        return self._block.name
+
+    @property
+    def owner(self) -> bool:
+        return self._block.owner
+
+    def bank(self, step: int) -> _ShmBank:
+        """The bank serving fleet step ``step`` (keyed by ``step % slots``)."""
+        return _ShmBank(self, step % self.slots)
+
+    def array(self, field: str, slot: int) -> np.ndarray:
+        """One slotted array by base name and bank index."""
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"slot must be in [0, {self.slots}), got {slot}")
+        return self._block[f"{field}@{slot}"]
+
+    def __getitem__(self, key: str | tuple[str, int]) -> np.ndarray:
+        """``block[name]`` for shared arrays, ``block[name, slot]`` for banks."""
+        if isinstance(key, tuple):
+            return self.array(*key)
+        return self._block[key]
+
+    def __contains__(self, key: str | tuple[str, int]) -> bool:
+        if isinstance(key, tuple):
+            field, slot = key
+            return 0 <= slot < self.slots and f"{field}@{slot}" in self._block
+        return key in self._block
+
+    def close(self) -> None:
+        self._block.close()
 
     def __del__(self) -> None:  # pragma: no cover — GC safety net
         try:

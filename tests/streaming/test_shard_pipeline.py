@@ -1,0 +1,343 @@
+"""Two-deep tick pipeline: parity, in-flight failure semantics, deadlines.
+
+The pipeline contract (ISSUE 10): ``pipeline=True`` overlaps
+coordinator-side tick composition with shard compute but never changes a
+single served bit — every :class:`~repro.streaming.fleet.FleetTick`
+(predictions, health, ``model_version``, ...) is identical to the
+lock-step barrier, including across a mid-stream checkpoint/restore and
+under chaos. A worker that dies with ticks in flight resolves *both*
+outstanding steps through the degraded path, and the fan-in charges one
+shared ``tick_timeout`` per tick, never per shard.
+
+Fleets here are deliberately tiny (N<=6, short tick runs): every test
+spawns real worker processes, so the budget goes to process startup,
+not serving.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricRegistry, set_enabled
+from repro.streaming import (
+    ChaosSchedule,
+    FleetPredictor,
+    ProcessFault,
+    RespawnPolicy,
+    ShardedFleetPredictor,
+    shard_boundaries,
+)
+
+#: small-but-real fleet config: refits happen, buffer wrap is avoided
+FLEET_KW = dict(
+    forecaster_name="holt",
+    window=8,
+    buffer_capacity=48,
+    refit_interval=16,
+    min_fit_size=12,
+)
+
+#: generous pacing while a shard rebuilds (worker spawn pays interpreter
+#: start-up + imports); tests assert in ticks, never in wall-clock
+RECOVERY_PACE_S = 0.15
+
+
+def make_ticks(n_ticks, n_streams, seed=0, nan_rate=0.05):
+    rng = np.random.default_rng(seed)
+    ticks = 50.0 + 10.0 * rng.standard_normal((n_ticks, n_streams))
+    ticks[rng.random((n_ticks, n_streams)) < nan_rate] = np.nan
+    return ticks
+
+
+def assert_tick_equal(got, want):
+    assert got.step == want.step
+    assert got.refit == want.refit
+    assert got.model_version == want.model_version
+    np.testing.assert_array_equal(got.predictions, want.predictions)
+    np.testing.assert_array_equal(got.actuals, want.actuals)
+    np.testing.assert_array_equal(got.errors, want.errors)
+    np.testing.assert_array_equal(got.drift, want.drift)
+    np.testing.assert_array_equal(got.health, want.health)
+    np.testing.assert_array_equal(got.gated, want.gated)
+
+
+def drive_pipelined(pred, ticks, pace=RECOVERY_PACE_S):
+    """Two-deep submit/collect loop, pacing while any shard rebuilds."""
+    out = []
+    pred.submit_tick(ticks[0])
+    for t in ticks[1:]:
+        pred.submit_tick(t)
+        out.append(pred.collect_tick())
+        if pred.recovering_shards and pace > 0:
+            time.sleep(pace)
+    out.append(pred.collect_tick())
+    return out
+
+
+class TestPipelineParity:
+    def test_pipelined_run_is_bit_identical_to_barrier(self):
+        """Clean run: every field of every tick matches, across a refit."""
+        n, shards = 6, 2
+        ticks = make_ticks(40, n, seed=3)
+        barrier = ShardedFleetPredictor(
+            n, shards, pipeline=False, registry=MetricRegistry(), **FLEET_KW
+        )
+        pipelined = ShardedFleetPredictor(
+            n, shards, pipeline=True, registry=MetricRegistry(), **FLEET_KW
+        )
+        try:
+            want = barrier.run(ticks)
+            got = pipelined.run(ticks)
+            assert len(got) == len(want) == len(ticks)
+            for g, w in zip(got, want):
+                assert_tick_equal(g, w)
+            # the run crossed a refit boundary, so event-driven version
+            # adoption actually carried a non-zero version at least once
+            assert any(w.refit for w in want)
+            assert got[-1].model_version == want[-1].model_version >= 1
+            assert barrier.stats()["fleet_mae"] == pipelined.stats()["fleet_mae"]
+            assert barrier.stats()["step"] == pipelined.stats()["step"] == len(ticks)
+        finally:
+            barrier.close()
+            pipelined.close()
+
+    def test_explicit_submit_collect_matches_run(self):
+        n, shards = 4, 2
+        ticks = make_ticks(24, n, seed=5)
+        a = ShardedFleetPredictor(
+            n, shards, pipeline=False, registry=MetricRegistry(), **FLEET_KW
+        )
+        b = ShardedFleetPredictor(
+            n, shards, pipeline=True, registry=MetricRegistry(), **FLEET_KW
+        )
+        try:
+            want = [a.process_tick(t) for t in ticks]
+            got = drive_pipelined(b, ticks, pace=0)
+            for g, w in zip(got, want):
+                assert_tick_equal(g, w)
+        finally:
+            a.close()
+            b.close()
+
+    def test_parity_across_mid_stream_checkpoint_restore(self, tmp_path):
+        """save → restore keeps the pipeline flag and stays bit-identical."""
+        n, shards, split = 6, 2, 20
+        ticks = make_ticks(40, n, seed=7)
+        path = tmp_path / "fleet.ckpt"
+        barrier = ShardedFleetPredictor(
+            n, shards, pipeline=False, registry=MetricRegistry(), **FLEET_KW
+        )
+        first = ShardedFleetPredictor(
+            n, shards, pipeline=True, registry=MetricRegistry(), **FLEET_KW
+        )
+        try:
+            want = barrier.run(ticks)
+            first.run(ticks[:split])
+            first.save(path)
+        finally:
+            barrier.close()
+            first.close()
+        second = ShardedFleetPredictor.restore(path, registry=MetricRegistry())
+        try:
+            assert second.pipeline is True
+            got_tail = second.run(ticks[split:])
+            for g, w in zip(got_tail, want[split:]):
+                assert_tick_equal(g, w)
+        finally:
+            second.close()
+
+    def test_quarantine_chaos_is_bit_identical_across_modes(self):
+        """respawn=None chaos kill: deterministic, so full cross-mode parity.
+
+        With the supervisor disabled, detection (EOF on the dead pipe)
+        and quarantine land on the same tick in both modes, so even the
+        degraded NaN rows must match bit-for-bit — including the tick
+        that was already in flight when the worker died.
+        """
+        n, shards, kill_tick = 6, 2, 8
+        ticks = make_ticks(20, n, seed=9, nan_rate=0.0)
+        outs = {}
+        for pipeline in (False, True):
+            pred = ShardedFleetPredictor(
+                n,
+                shards,
+                pipeline=pipeline,
+                respawn=None,
+                chaos=ChaosSchedule.kill_at(kill_tick, shard=0),
+                registry=MetricRegistry(),
+                tick_timeout=30.0,
+                **FLEET_KW,
+            )
+            try:
+                outs[pipeline] = pred.run(ticks)
+                assert pred.quarantined_shards == (0,)
+            finally:
+                pred.close()
+        for g, w in zip(outs[True], outs[False]):
+            assert_tick_equal(g, w)
+
+
+class TestPipelineFaults:
+    def test_sigkill_with_tick_in_flight_degrades_both_pending_steps(self):
+        """Worker death mid-pipeline: both in-flight steps go RECOVERING.
+
+        When the chaos kill lands, tick k is computing and tick k+1 is
+        already staged — neither may be dropped or served stale: both
+        must resolve to held-prediction RECOVERING rows, while survivor
+        rows stay bit-identical to an undisturbed mirror shard.
+        """
+        n, shards, kill_tick = 6, 2, 10
+        vlo, vhi = shard_boundaries(n, shards)[0:2]
+        ticks = make_ticks(40, n, seed=11, nan_rate=0.0)
+        mirror = FleetPredictor(n - vhi, registry=MetricRegistry(), **FLEET_KW)
+        pred = ShardedFleetPredictor(
+            n,
+            shards,
+            pipeline=True,
+            chaos=ChaosSchedule.kill_at(kill_tick, shard=0),
+            respawn=RespawnPolicy(backoff_ticks=1),
+            registry=MetricRegistry(),
+            tick_timeout=30.0,
+            **FLEET_KW,
+        )
+        try:
+            got = drive_pipelined(pred, ticks)
+            want = [mirror.process_tick(row[vhi:]) for row in ticks]
+            for g, w in zip(got, want):
+                np.testing.assert_array_equal(g.predictions[vhi:], w.predictions)
+                np.testing.assert_array_equal(g.errors[vhi:], w.errors)
+                np.testing.assert_array_equal(g.health[vhi:], w.health)
+            held = got[kill_tick - 1].predictions[vlo:vhi]
+            for step in (kill_tick, kill_tick + 1):  # both in-flight steps
+                assert (got[step].health[vlo:vhi] == 3).all(), f"step {step}"
+                np.testing.assert_array_equal(got[step].predictions[vlo:vhi], held)
+                np.testing.assert_array_equal(
+                    got[step].actuals[vlo:vhi], ticks[step][vlo:vhi]
+                )
+            assert pred.worker_failures == 1
+            assert pred.respawns >= 1
+            # the shard came back and served real (non-held) rows again
+            recovered = [
+                t for t, g in enumerate(got)
+                if t > kill_tick and (g.health[vlo:vhi] == 0).all()
+            ]
+            assert recovered, "shard never recovered within the run"
+        finally:
+            pred.close()
+
+    def test_slow_shards_share_one_tick_deadline(self):
+        """k hung shards cost one tick_timeout, not k of them."""
+        n, shards, hang_tick, timeout = 6, 3, 4, 1.0
+        ticks = make_ticks(8, n, seed=13, nan_rate=0.0)
+        pred = ShardedFleetPredictor(
+            n,
+            shards,
+            respawn=None,
+            chaos=ChaosSchedule(
+                [
+                    ProcessFault(tick=hang_tick, shard=0, kind="hang"),
+                    ProcessFault(tick=hang_tick, shard=1, kind="hang"),
+                ]
+            ),
+            registry=MetricRegistry(),
+            tick_timeout=timeout,
+            **FLEET_KW,
+        )
+        try:
+            for t in range(hang_tick):
+                pred.process_tick(ticks[t])
+            t0 = time.perf_counter()
+            out = pred.process_tick(ticks[hang_tick])
+            elapsed = time.perf_counter() - t0
+            # both hung shards failed inside ONE shared deadline; the old
+            # per-handle poll would have charged 2 x timeout sequentially
+            assert elapsed < 1.9 * timeout, f"fan-in took {elapsed:.2f}s"
+            assert pred.quarantined_shards == (0, 1)
+            dead = slice(0, shard_boundaries(n, shards)[2])
+            assert np.isnan(out.predictions[dead]).all()
+            assert (out.health[dead] == 2).all()
+            # the survivor still served its rows on the very same tick
+            assert (out.health[dead.stop:] == 0).all()
+        finally:
+            pred.close()
+
+    def test_recovery_accounting_survives_disabled_obs(self):
+        """A disabled metric registry must not skew serving or recovery state."""
+        n, shards, kill_tick = 4, 2, 6
+        vhi = shard_boundaries(n, shards)[1]
+        ticks = make_ticks(30, n, seed=17, nan_rate=0.0)
+        mirror = FleetPredictor(n - vhi, registry=MetricRegistry(), **FLEET_KW)
+        prev = set_enabled(False)
+        try:
+            pred = ShardedFleetPredictor(
+                n,
+                shards,
+                pipeline=True,
+                chaos=ChaosSchedule.kill_at(kill_tick, shard=0),
+                respawn=RespawnPolicy(backoff_ticks=1),
+                registry=MetricRegistry(),
+                tick_timeout=30.0,
+                **FLEET_KW,
+            )
+            try:
+                got = drive_pipelined(pred, ticks)
+                want = [mirror.process_tick(row[vhi:]) for row in ticks]
+                for g, w in zip(got, want):
+                    np.testing.assert_array_equal(g.predictions[vhi:], w.predictions)
+                    np.testing.assert_array_equal(g.health[vhi:], w.health)
+                assert pred.worker_failures == 1
+                # the regression: recovery-tick accounting is bookkeeping,
+                # not telemetry — it must land even with obs switched off
+                assert pred.last_recovery_ticks is not None
+                assert pred.last_recovery_ticks >= 1
+                assert pred.stats()["step"] == len(ticks)
+            finally:
+                pred.close()
+        finally:
+            set_enabled(prev)
+
+
+class TestPipelineGuards:
+    def test_depth_limit_and_inflight_guards(self, tmp_path):
+        n = 2
+        ticks = make_ticks(6, n, seed=19, nan_rate=0.0)
+        pred = ShardedFleetPredictor(
+            n, shards=1, registry=MetricRegistry(), **FLEET_KW
+        )
+        try:
+            with pytest.raises(RuntimeError, match="no tick in flight"):
+                pred.collect_tick()
+            pred.submit_tick(ticks[0])
+            pred.submit_tick(ticks[1])
+            assert pred.inflight == 2
+            with pytest.raises(RuntimeError, match="pipeline is full"):
+                pred.submit_tick(ticks[2])
+            # control traffic shares the worker pipes with tick acks —
+            # every rare-path entry point must refuse while ticks fly
+            with pytest.raises(RuntimeError, match="in flight"):
+                pred.process_tick(ticks[2])
+            with pytest.raises(RuntimeError, match="in flight"):
+                pred.stats()
+            with pytest.raises(RuntimeError, match="in flight"):
+                pred.save(tmp_path / "mid.ckpt")
+            with pytest.raises(RuntimeError, match="in flight"):
+                pred.stream_history(0)
+            first = pred.collect_tick()
+            second = pred.collect_tick()
+            assert (first.step, second.step) == (0, 1)
+            assert pred.inflight == 0
+            assert pred.stats()["step"] == 2  # idle again: control works
+        finally:
+            pred.close()
+
+    def test_close_drains_inflight_ticks(self):
+        n = 2
+        ticks = make_ticks(2, n, seed=23, nan_rate=0.0)
+        pred = ShardedFleetPredictor(
+            n, shards=1, registry=MetricRegistry(), **FLEET_KW
+        )
+        pred.submit_tick(ticks[0])
+        pred.submit_tick(ticks[1])
+        pred.close()  # must not wedge on (or mis-parse) the queued acks
+        assert pred.inflight == 0

@@ -13,8 +13,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.streaming import MatrixRingBuffer, SharedMatrixRingBuffer, ShmArraySpec, ShmBlock
-from repro.streaming.shm import ring_specs
+from repro.streaming import (
+    MatrixRingBuffer,
+    SharedMatrixRingBuffer,
+    ShmArraySpec,
+    ShmBlock,
+    SlottedShmBlock,
+)
+from repro.streaming.shm import ring_specs, slotted_specs
 
 
 @pytest.fixture
@@ -142,3 +148,96 @@ class TestShmBlock:
         block.close()  # idempotent
         with pytest.raises(FileNotFoundError):
             ShmBlock.attach(specs, name)
+
+
+class TestSlottedShmBlock:
+    SPECS = (
+        ShmArraySpec("ticks_in", (6, 2), "<f8"),
+        ShmArraySpec("health", (6,), "|u1"),
+    )
+
+    def test_slotted_specs_expand_and_validate(self):
+        expanded = slotted_specs(self.SPECS, 2)
+        assert [s.name for s in expanded] == [
+            "ticks_in@0", "health@0", "ticks_in@1", "health@1",
+        ]
+        assert all(s.shape == orig.shape and s.dtype == orig.dtype
+                   for s, orig in zip(expanded, self.SPECS * 2))
+        with pytest.raises(ValueError, match="slots"):
+            slotted_specs(self.SPECS, 0)
+
+    def test_bank_views_and_shared_arrays(self):
+        block = SlottedShmBlock.create(
+            self.SPECS, slots=2, shared=(ShmArraySpec("ring_head", (6,), "<i8"),)
+        )
+        try:
+            bank0, bank1 = block.bank(0), block.bank(1)
+            assert bank0.slot == 0 and bank1.slot == 1
+            assert block.bank(2).slot == 0  # step % slots
+            bank0["ticks_in"][...] = 1.0
+            bank1["ticks_in"][...] = 2.0
+            assert block.array("ticks_in", 0)[0, 0] == 1.0
+            assert block["ticks_in", 1][0, 0] == 2.0
+            assert ("ticks_in", 1) in block and ("ticks_in", 2) not in block
+            # shared arrays are single-copy and addressed by bare name
+            block["ring_head"][...] = 7
+            assert block["ring_head"][0] == 7
+            with pytest.raises(IndexError, match="slot"):
+                block.array("ticks_in", 2)
+        finally:
+            block.close()
+
+    def test_attach_sees_creator_banks(self):
+        creator = SlottedShmBlock.create(self.SPECS, slots=2)
+        try:
+            attached = SlottedShmBlock.attach(self.SPECS, 2, creator.name)
+            try:
+                creator.bank(3)["health"][...] = 9
+                assert attached.bank(3)["health"][0] == 9
+                assert not attached.bank(2)["health"].any()
+            finally:
+                attached.close()
+        finally:
+            creator.close()
+
+    @given(
+        st.integers(1, 4),     # slots
+        st.integers(0, 4),     # arrays per bank
+        st.integers(0, 200),   # starting step
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_consecutive_step_banks_never_alias(self, slots, n_arrays, start, data):
+        """Writes at step t must never bleed into the banks of the other steps.
+
+        This is the safety property the tick pipeline leans on: the
+        coordinator stages tick t+1 while workers still compute tick t,
+        so with slots >= 2 the two banks must occupy disjoint memory —
+        for every field, across arbitrary shapes and dtypes.
+        """
+        specs = tuple(
+            ShmArraySpec(
+                f"f{i}",
+                data.draw(st.sampled_from([(3,), (2, 2), (5, 1)])),
+                data.draw(st.sampled_from(["<f8", "<i8", "|u1"])),
+            )
+            for i in range(n_arrays)
+        )
+        block = SlottedShmBlock.create(specs, slots=slots)
+        try:
+            written = block.bank(start)
+            for spec in specs:
+                written[spec.name][...] = np.ones((), dtype=spec.dtype)
+            for offset in range(1, slots):
+                other = block.bank(start + offset)
+                assert other.slot != written.slot
+                for spec in specs:
+                    assert not other[spec.name].any(), (
+                        f"bank {written.slot} write aliased into bank "
+                        f"{other.slot} for {spec.name!r}"
+                    )
+            # and the write itself landed
+            for spec in specs:
+                assert written[spec.name].all()
+        finally:
+            block.close()
